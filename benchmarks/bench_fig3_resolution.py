@@ -1,0 +1,24 @@
+"""F3 — Figure 3: ARP resolution latency, plain vs S-ARP vs TARP."""
+
+from __future__ import annotations
+
+from repro.core.report import figure_3_resolution_latency
+
+
+def test_fig3_resolution_latency(once, benchmark):
+    artifact = once(benchmark, figure_3_resolution_latency, n_resolutions=20)
+    print("\n" + artifact.rendered)
+
+    rows = {row[0]: row for row in artifact.rows}
+    plain = float(rows["plain-arp"][1])
+    sarp = float(rows["s-arp"][1])
+    tarp = float(rows["tarp"][1])
+
+    # The paper-family shape: S-ARP costs an integer factor (sign+verify
+    # on the critical path, plus AKD lookups); TARP sits between plain
+    # and S-ARP (verify only).
+    assert plain < tarp < sarp
+    sarp_slowdown = sarp / plain
+    tarp_slowdown = tarp / plain
+    assert 3.0 < sarp_slowdown < 100.0
+    assert 1.5 < tarp_slowdown < sarp_slowdown

@@ -1,0 +1,118 @@
+"""Micro-benchmarks: raw throughput of the substrates.
+
+Unlike the artifact benches (single-round), these run real repeated
+timing rounds — they answer "how big a LAN / how long a run can this
+framework simulate per wall-clock second".
+"""
+
+from __future__ import annotations
+
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.arp import ArpPacket
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.sim.simulator import Simulator
+
+MAC_A = MacAddress("08:00:27:aa:aa:aa")
+MAC_B = MacAddress("08:00:27:bb:bb:bb")
+IP_A = Ipv4Address("192.168.88.10")
+IP_B = Ipv4Address("192.168.88.1")
+
+
+def test_bench_ethernet_roundtrip(benchmark):
+    frame = EthernetFrame(MAC_B, MAC_A, EtherType.IPV4, b"x" * 100)
+    wire = frame.encode()
+
+    def roundtrip():
+        return EthernetFrame.decode(wire).encode()
+
+    result = benchmark(roundtrip)
+    assert result == wire
+
+
+def test_bench_arp_roundtrip(benchmark):
+    wire = ArpPacket.request(sha=MAC_A, spa=IP_A, tpa=IP_B).encode()
+
+    def roundtrip():
+        return ArpPacket.decode(wire)
+
+    packet = benchmark(roundtrip)
+    assert packet.spa == IP_A
+
+
+def test_bench_ipv4_checksummed_roundtrip(benchmark):
+    wire = Ipv4Packet(src=IP_A, dst=IP_B, proto=IpProto.UDP, payload=b"p" * 64).encode()
+
+    def roundtrip():
+        return Ipv4Packet.decode(wire)
+
+    packet = benchmark(roundtrip)
+    assert packet.dst == IP_B
+
+
+def test_bench_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator(seed=1)
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return state["count"]
+
+    count = benchmark(run_10k_events)
+    assert count == 10_000
+
+
+def test_bench_lan_ping_storm(benchmark):
+    """End-to-end: 16 hosts, every host pings every other once."""
+
+    def run_storm():
+        sim = Simulator(seed=3)
+        lan = Lan(sim)
+        hosts = [lan.add_host(f"h{i}") for i in range(16)]
+        replies = {"n": 0}
+        when = 0.0
+        for a in hosts:
+            for b in hosts:
+                if a is b:
+                    continue
+                when += 0.001
+                sim.schedule_at(
+                    when,
+                    lambda a=a, b=b: a.ping(
+                        b.ip, on_reply=lambda s, r: replies.__setitem__("n", replies["n"] + 1)
+                    ),
+                )
+        sim.run(until=when + 5.0)
+        return replies["n"]
+
+    replies = benchmark(run_storm)
+    assert replies == 16 * 15
+
+
+def test_bench_switch_forwarding(benchmark):
+    """Frames/second through a warm learning switch."""
+    sim = Simulator(seed=4)
+    lan = Lan(sim)
+    a = lan.add_host("a")
+    b = lan.add_host("b")
+    a.ping(b.ip)
+    sim.run(until=1.0)  # warm CAM + caches
+    packet = Ipv4Packet(src=a.ip, dst=b.ip, proto=IpProto.UDP, payload=b"z" * 64)
+    frame = EthernetFrame(dst=b.mac, src=a.mac, ethertype=EtherType.IPV4,
+                          payload=packet.encode())
+    before = {"rx": b.counters["ip_rx"]}
+
+    def push_100():
+        for _ in range(100):
+            a.transmit_frame(frame)
+        sim.run(until=sim.now + 1.0)
+
+    benchmark.pedantic(push_100, rounds=5, iterations=1)
+    assert b.counters["ip_rx"] > before["rx"]

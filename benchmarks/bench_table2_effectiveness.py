@@ -1,0 +1,38 @@
+"""T2 — Table 2: measured effectiveness per (scheme, attack variant)."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ScenarioConfig
+from repro.core.report import table_2_effectiveness
+
+CONFIG = ScenarioConfig(n_hosts=4, warmup=3.0, attack_duration=20.0, cooldown=2.0)
+
+
+def test_table2_effectiveness(once, benchmark):
+    artifact = once(benchmark, table_2_effectiveness, config=CONFIG)
+    print("\n" + artifact.rendered)
+
+    cell = {row[0]: dict(zip(artifact.header[1:], row[1:])) for row in artifact.rows}
+
+    # Baseline: every variant lands.
+    assert cell["none"]["verdict"] == "ineffective"
+    for variant in ("reply", "request", "gratuitous", "reactive"):
+        assert cell["none"][variant] == "missed"
+
+    # Crypto & switch prevention stop everything.
+    for key in ("s-arp", "tarp", "dai", "static-arp"):
+        for variant in ("reply", "request", "gratuitous", "reactive"):
+            assert cell[key][variant].startswith("prevented"), (key, variant)
+
+    # Port security is blind to poisoning (the analysis's negative result).
+    assert cell["port-security"]["reply"] == "missed"
+
+    # Kernel patches protect warm caches across the classic variants.
+    for key in ("anticap", "antidote"):
+        for variant in ("reply", "request", "gratuitous"):
+            assert cell[key][variant].startswith("prevented"), (key, variant)
+
+    # Monitors detect but do not prevent.
+    for key in ("arpwatch", "snort-arpspoof", "active-probe", "middleware", "hybrid"):
+        for variant in ("reply", "request", "gratuitous"):
+            assert cell[key][variant] == "detected", (key, variant)

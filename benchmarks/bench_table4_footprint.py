@@ -1,0 +1,33 @@
+"""T4 — Table 4: per-scheme state and chatter as the LAN grows."""
+
+from __future__ import annotations
+
+from repro.core.report import table_4_footprint
+
+SCHEMES = ("static-arp", "s-arp", "tarp", "dai", "arpwatch", "hybrid", "middleware")
+HOSTS = (8, 16, 32)
+
+
+def test_table4_footprint(once, benchmark):
+    artifact = once(
+        benchmark, table_4_footprint, schemes=SCHEMES, host_counts=HOSTS
+    )
+    print("\n" + artifact.rendered)
+
+    rows = {row[0]: row[1:] for row in artifact.rows}
+
+    # Shape: state grows with the LAN for every stateful scheme...
+    for key in SCHEMES:
+        states = rows[key][: len(HOSTS)]
+        assert states[0] <= states[-1], key
+        assert states[-1] > 0, key
+
+    # ...static entries grow quadratically-ish (every host pins every
+    # binding) and dwarf the single-table schemes.
+    static_at_32 = rows["static-arp"][len(HOSTS) - 1]
+    dai_at_32 = rows["dai"][len(HOSTS) - 1]
+    assert static_at_32 > 10 * dai_at_32
+
+    # TARP sends no runtime key traffic; S-ARP does.
+    assert rows["tarp"][len(HOSTS) :][-1] == 0
+    assert rows["s-arp"][len(HOSTS) :][-1] > 0

@@ -1,0 +1,25 @@
+"""Benchmark suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and asserts
+its qualitative *shape* (who wins, by roughly what factor).  Expensive
+artifacts run with ``benchmark.pedantic(rounds=1)`` — the interesting
+output is the artifact itself, not micro-timing stability.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""DHCP abuse lab: starvation + rogue server, with and without DAI.
+
+Phase 1 (undefended): Mallory starves the gateway's DHCP pool, brings up
+a rogue DHCP server advertising herself as the default gateway, and a
+newcomer laptop binds straight into her hands.
+
+Phase 2 (DHCP snooping + Dynamic ARP Inspection): the switch drops the
+rogue server's messages at the access port, the legitimate pool recovers
+as fake leases expire, and the newcomer binds to the real gateway.
+
+Run:  python examples/dhcp_dai_lab.py
+"""
+
+from __future__ import annotations
+
+from repro import Lan, Simulator
+from repro.attacks import DhcpStarvation, RogueDhcpServer
+from repro.schemes import make_scheme
+from repro.stack import DhcpClient
+
+
+def run(defended: bool) -> None:
+    label = "DAI + DHCP snooping" if defended else "undefended"
+    print(f"=== {label} ===")
+    sim = Simulator(seed=99)
+    lan = Lan(sim, network="10.0.3.0/24")
+    server = lan.enable_dhcp(pool_start=100, pool_end=119, lease_time=30.0)
+    mallory = lan.add_host("mallory")
+
+    scheme = None
+    if defended:
+        scheme = make_scheme("dai")
+        scheme.install(lan, protected=[lan.gateway, mallory])
+
+    starve = DhcpStarvation(mallory, rate_per_second=25, greedy=True)
+    rogue = RogueDhcpServer(mallory, lan.network, pool_start=200, pool_end=220)
+    starve.start()
+    rogue.start()
+    sim.run(until=15.0)
+    starve.stop()
+    print(f"  after starvation: pool free={server.free_addresses}/20 "
+          f"(fake leases captured: {starve.leases_captured})")
+
+    laptop = lan.add_dhcp_host("laptop")
+    client = DhcpClient(laptop, retry_timeout=5.0, max_retries=8)
+    client.start()
+    sim.run(until=60.0)
+    rogue.stop()
+
+    print(f"  newcomer bound: ip={laptop.ip} gateway={laptop.gateway}")
+    if laptop.gateway == mallory.ip:
+        print("  -> VICTIM: default gateway is the attacker; "
+              "all off-LAN traffic transits Mallory")
+    elif laptop.gateway == lan.gateway.ip:
+        print("  -> SAFE: bound to the legitimate gateway")
+    if scheme is not None:
+        print(f"  DAI: rogue DHCP messages dropped={scheme.rogue_dhcp_drops}, "
+              f"leases snooped={scheme.leases_snooped}")
+        for alert in scheme.alerts[:3]:
+            print(f"    {alert}")
+    print()
+
+
+def main() -> None:
+    run(defended=False)
+    run(defended=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""The full analysis, end to end: every scheme against every variant.
+
+Regenerates the paper's two headline tables — the qualitative comparison
+matrix (Table 1) and the measured effectiveness matrix (Table 2) — plus
+the false-positive table (Table 3) for the detection schemes, exactly as
+the benchmark suite does, but as one readable report.
+
+Run:  python examples/scheme_shootout.py          (~30 s)
+"""
+
+from __future__ import annotations
+
+from repro import table_1_criteria, table_2_effectiveness, table_3_false_positives
+from repro.core.experiment import ScenarioConfig
+
+
+def main() -> None:
+    print(table_1_criteria().rendered)
+    print()
+
+    config = ScenarioConfig(n_hosts=4, warmup=3.0, attack_duration=20.0, cooldown=2.0)
+    print(table_2_effectiveness(config=config).rendered)
+    print()
+
+    detectors = ("arpwatch", "snort-arpspoof", "active-probe", "middleware", "hybrid")
+    print(table_3_false_positives(schemes=detectors, duration=900.0).rendered)
+    print()
+    print(
+        "Reading the tables together: crypto (S-ARP/TARP) and switch (DAI)\n"
+        "schemes prevent everything but demand infrastructure; kernel patches\n"
+        "protect warm caches cheaply; port security stops MAC games but not\n"
+        "ARP lies; passive monitors detect but cry wolf under churn — and the\n"
+        "hybrid detector keeps the coverage while silencing the false alarms."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""From ARP lie to hijacked TCP session — the full kill chain.
+
+1. Alice keeps a TCP session open to an intranet app server.
+2. Mallory ARP-poisons Alice and the server and relays the session.
+3. Holding live sequence numbers, Mallory injects a forged response the
+   app accepts as genuine — then tears the session down with one RST.
+
+The same run with TARP installed shows the chain severed at step 2.
+
+Run:  python examples/session_hijack.py
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import Lan, Simulator
+from repro.attacks import MitmAttack, SessionHijacker
+from repro.schemes import make_scheme
+from repro.stack import TcpClient, TcpServer, WINDOWS_XP
+
+
+def run(with_scheme: Optional[str]) -> None:
+    label = with_scheme or "undefended"
+    sim = Simulator(seed=1337)
+    lan = Lan(sim)
+    alice = lan.add_host("alice", profile=WINDOWS_XP)
+    appserver = lan.add_host("appserver")
+    mallory = lan.add_host("mallory")
+
+    if with_scheme is not None:
+        scheme = make_scheme(with_scheme)
+        scheme.install(lan, protected=[alice, appserver, lan.gateway])
+
+    TcpServer(appserver, 8443,
+              on_data=lambda conn, data: conn.send(b"balance: 1,024.00 EUR"))
+    screen: List[bytes] = []
+    conn = TcpClient(alice).connect(
+        appserver.ip, 8443,
+        on_connected=lambda c: c.send(b"SHOW BALANCE"),
+        on_data=lambda c, d: screen.append(d),
+    )
+    sim.run(until=3.0)
+
+    mitm = MitmAttack(mallory, alice, appserver)
+    mitm.start()
+    hijacker = SessionHijacker(mitm)
+    hijacker.start()
+    sim.run(until=6.0)
+    conn.send(b"SHOW BALANCE")  # routine refresh, now through Mallory
+    sim.run(until=7.0)
+
+    injected = hijacker.inject(
+        alice.ip, b"SECURITY NOTICE: wire your balance to ACCT 666 today"
+    )
+    sim.run(until=8.0)
+    reset = hijacker.reset(alice.ip)
+    sim.run(until=9.0)
+
+    print(f"=== {label} ===")
+    print(f"  flows observed by hijacker: {len(hijacker.flows)}")
+    print(f"  forged injection delivered: {injected}")
+    print(f"  alice's screen: {[m.decode() for m in screen]}")
+    print(f"  forged RST delivered: {reset}  (session state: {conn.state})")
+    print()
+    if with_scheme is None:
+        assert any(b"ACCT 666" in m for m in screen)
+        assert conn.state == "closed"
+    else:
+        assert not any(b"ACCT 666" in m for m in screen)
+        assert conn.state == "established"
+
+
+def main() -> None:
+    run(None)
+    run("tarp")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""VLAN segmentation as an ARP-poisoning blast-radius control.
+
+The same guest-attacker, two network designs:
+
+* flat LAN — the guest poisons an engineering workstation's idea of the
+  file server and relays the session;
+* segmented LAN (engineering on VLAN 10, guests on VLAN 20) — the same
+  forged frames never leave the guest VLAN, because ARP is a broadcast
+  protocol and the broadcast domain just shrank.
+
+Run:  python examples/vlan_segmentation.py
+"""
+
+from __future__ import annotations
+
+from repro import Lan, Simulator
+from repro.attacks import MitmAttack
+from repro.stack import WINDOWS_XP
+
+
+def build(segmented: bool):
+    sim = Simulator(seed=404)
+    lan = Lan(sim)
+    workstation = lan.add_host("workstation", profile=WINDOWS_XP)
+    fileserver = lan.add_host("fileserver")
+    guest = lan.add_host("guest")
+    if segmented:
+        switch = lan.switch
+        switch.set_access_port(lan.port_of("gateway"), 10)
+        switch.set_access_port(lan.port_of("workstation"), 10)
+        switch.set_access_port(lan.port_of("fileserver"), 10)
+        switch.set_access_port(lan.port_of("guest"), 20)
+    return sim, lan, workstation, fileserver, guest
+
+
+def run(segmented: bool) -> None:
+    label = "VLAN-segmented" if segmented else "flat"
+    sim, lan, workstation, fileserver, guest = build(segmented)
+
+    # The workstation works against the file server all day.
+    replies = []
+    cancel = sim.call_every(
+        0.5,
+        lambda: workstation.ping(fileserver.ip, on_reply=lambda s, r: replies.append(s)),
+    )
+    sim.run(until=5.0)
+
+    mitm = MitmAttack(guest, workstation, fileserver)
+    mitm.start()
+    sim.run(until=20.0)
+    mitm.stop()
+    cancel()
+
+    poisoned = workstation.arp_cache.get(fileserver.ip, sim.now) == guest.mac
+    print(f"=== {label} LAN ===")
+    print(f"  workstation->fileserver replies: {len(replies)}")
+    print(f"  workstation poisoned: {poisoned}")
+    print(f"  session packets relayed through the guest: {mitm.frames_relayed}")
+    print()
+    if segmented:
+        assert not poisoned and mitm.frames_relayed == 0
+    else:
+        assert poisoned and mitm.frames_relayed > 0
+
+
+def main() -> None:
+    run(segmented=False)
+    run(segmented=True)
+    print("Segmentation did not *fix* ARP — it shrank the set of machines")
+    print("that can lie to each other. The guest VLAN is still poisonable")
+    print("from inside the guest VLAN.")
+
+
+if __name__ == "__main__":
+    main()

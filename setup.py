@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the ``wheel`` package needed
+for PEP 660 editable wheels (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

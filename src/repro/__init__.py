@@ -1,0 +1,67 @@
+"""repro — ARP cache poisoning: attacks, defenses, and the analysis harness.
+
+A reproduction of *An Analysis on the Schemes for Detecting and Preventing
+ARP Cache Poisoning Attacks* (Abad & Bonilla, ICDCSW 2007) as a simulated-
+LAN framework: byte-accurate packet codecs, a learning switch, full host
+stacks, the attack toolkit, twelve defense schemes, and an evaluation
+harness that regenerates the paper's comparison tables and figures.
+
+Quickstart::
+
+    from repro import Simulator, Lan
+    from repro.attacks import MitmAttack
+    from repro.schemes import make_scheme
+
+    sim = Simulator(seed=1)
+    lan = Lan(sim)
+    lan.add_monitor()
+    victim, mallory = lan.add_host("victim"), lan.add_host("mallory")
+    scheme = make_scheme("hybrid")
+    scheme.install(lan, protected=[victim, lan.gateway, lan.monitor])
+    MitmAttack(mallory, victim, lan.gateway).start()
+    sim.run(until=30)
+    print("\\n".join(str(a) for a in scheme.alerts))
+"""
+
+from repro._version import __version__
+from repro.sim import Simulator
+from repro.net import Ipv4Address, Ipv4Network, MacAddress
+from repro.l2.topology import Lan
+from repro.stack import Host, Router
+from repro.schemes import Scheme, make_scheme, all_profiles
+from repro.core import (
+    Analyzer,
+    ScenarioConfig,
+    figure_1_detection_latency,
+    figure_2_overhead,
+    figure_3_resolution_latency,
+    figure_4_interception,
+    table_1_criteria,
+    table_2_effectiveness,
+    table_3_false_positives,
+    table_4_footprint,
+)
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "Ipv4Address",
+    "Ipv4Network",
+    "MacAddress",
+    "Lan",
+    "Host",
+    "Router",
+    "Scheme",
+    "make_scheme",
+    "all_profiles",
+    "Analyzer",
+    "ScenarioConfig",
+    "table_1_criteria",
+    "table_2_effectiveness",
+    "table_3_false_positives",
+    "table_4_footprint",
+    "figure_1_detection_latency",
+    "figure_2_overhead",
+    "figure_3_resolution_latency",
+    "figure_4_interception",
+]

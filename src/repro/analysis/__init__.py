@@ -1,0 +1,20 @@
+"""Rendering helpers and offline capture forensics."""
+
+from repro.analysis.forensics import CaptureSummary, Finding, OfflineArpAnalyzer
+from repro.analysis.pcap import read_pcap, write_pcap
+from repro.analysis.stats import Summary, replicate, summarize
+from repro.analysis.tables import render_series, render_table, to_csv
+
+__all__ = [
+    "render_table",
+    "to_csv",
+    "render_series",
+    "OfflineArpAnalyzer",
+    "CaptureSummary",
+    "Finding",
+    "read_pcap",
+    "write_pcap",
+    "Summary",
+    "replicate",
+    "summarize",
+]

@@ -1,0 +1,287 @@
+"""Offline capture forensics: run detection logic over a stored trace.
+
+Monitors work in real time; incident response works on pcaps.  The
+:class:`OfflineArpAnalyzer` takes any sequence of
+:class:`~repro.sim.trace.TraceRecord` (a link recorder, a switch's
+mirror recorder, a host's NIC recorder) and re-runs the passive
+detection battery over it after the fact: the arpwatch-style pairing
+database, the Snort-style instantaneous signatures, a reply-storm
+scan, and a DHCP-consistency cross-check.  The output is a timeline of
+:class:`Finding` objects plus summary statistics — what an analyst
+would pull out of Wireshark by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import CodecError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.arp import ArpPacket
+from repro.packets.dhcp import (
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    DhcpMessage,
+    DhcpMessageType,
+)
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.udp import UdpDatagram
+from repro.schemes.monitor_base import BindingDatabase
+from repro.sim.trace import TraceRecord
+
+__all__ = ["Finding", "CaptureSummary", "OfflineArpAnalyzer"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One suspicious event recovered from the capture."""
+
+    time: float
+    kind: str
+    ip: Optional[Ipv4Address] = None
+    mac: Optional[MacAddress] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        subject = f" {self.ip}" if self.ip is not None else ""
+        suspect = f" at {self.mac}" if self.mac is not None else ""
+        return f"[{self.time:10.3f}] {self.kind}{subject}{suspect} {self.detail}".rstrip()
+
+
+@dataclass
+class CaptureSummary:
+    """Aggregate statistics over the analyzed capture."""
+
+    frames: int = 0
+    arp_packets: int = 0
+    arp_requests: int = 0
+    arp_replies: int = 0
+    gratuitous: int = 0
+    dhcp_messages: int = 0
+    undecodable: int = 0
+    stations: int = 0
+    rebindings: int = 0
+    findings: List[Finding] = field(default_factory=list)
+
+    def findings_of(self, kind: str) -> List[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def render(self) -> str:
+        """A human-readable incident report."""
+        lines = [
+            f"frames: {self.frames}  (undecodable: {self.undecodable})",
+            f"arp: {self.arp_packets} ({self.arp_requests} req / "
+            f"{self.arp_replies} rep, {self.gratuitous} gratuitous)",
+            f"dhcp messages: {self.dhcp_messages}",
+            f"stations: {self.stations}  rebinding events: {self.rebindings}",
+        ]
+        if self.findings:
+            lines.append("findings:")
+            lines.extend(f"  {finding}" for finding in self.findings)
+        else:
+            lines.append("findings: none")
+        return "\n".join(lines)
+
+
+class OfflineArpAnalyzer:
+    """Replays a capture through the passive detection battery."""
+
+    def __init__(
+        self,
+        known_bindings: Optional[Dict[Ipv4Address, MacAddress]] = None,
+        storm_threshold: int = 12,
+        storm_window: float = 10.0,
+        dhcp_grace: float = 30.0,
+        dedup_window: float = 60.0,
+    ) -> None:
+        self.known_bindings = dict(known_bindings or {})
+        self.storm_threshold = storm_threshold
+        self.storm_window = storm_window
+        self.dhcp_grace = dhcp_grace
+        self.dedup_window = dedup_window
+        self.db = BindingDatabase()
+        self._reply_times: Dict[Tuple[Ipv4Address, MacAddress], List[float]] = {}
+        self._storm_flagged: set[Tuple[Ipv4Address, MacAddress]] = set()
+        self._dhcp_recent: Dict[Ipv4Address, Tuple[MacAddress, float]] = {}
+        self._finding_seen: Dict[tuple, float] = {}
+        #: (kind, ip, mac) -> occurrences suppressed by the dedup window.
+        self.repeat_counts: Dict[tuple, int] = {}
+        self.scan_threshold = 16
+        self.scan_window = 10.0
+        self._request_fanout: Dict[MacAddress, List[Tuple[float, Ipv4Address]]] = {}
+
+    def _emit(self, summary: CaptureSummary, finding: Finding) -> None:
+        """Append a finding, condensing repeats within the dedup window."""
+        key = (finding.kind, finding.ip, finding.mac)
+        last = self._finding_seen.get(key)
+        if (
+            self.dedup_window > 0
+            and last is not None
+            and finding.time - last < self.dedup_window
+        ):
+            self.repeat_counts[key] = self.repeat_counts.get(key, 0) + 1
+            return
+        self._finding_seen[key] = finding.time
+        summary.findings.append(finding)
+
+    # ------------------------------------------------------------------
+    def analyze(self, records: Iterable[TraceRecord]) -> CaptureSummary:
+        """Run the battery over ``records`` (time-ordered) and summarize."""
+        summary = CaptureSummary()
+        for record in sorted(records, key=lambda r: r.time):
+            summary.frames += 1
+            try:
+                frame = EthernetFrame.decode(record.frame)
+            except CodecError:
+                summary.undecodable += 1
+                continue
+            if frame.ethertype == EtherType.ARP:
+                self._analyze_arp(frame, record.time, summary)
+            elif frame.ethertype == EtherType.IPV4:
+                self._maybe_dhcp(frame, record.time, summary)
+        summary.stations = len(self.db)
+        return summary
+
+    # ------------------------------------------------------------------
+    def _analyze_arp(
+        self, frame: EthernetFrame, now: float, summary: CaptureSummary
+    ) -> None:
+        try:
+            arp = ArpPacket.decode(frame.payload)
+        except CodecError:
+            summary.undecodable += 1
+            return
+        summary.arp_packets += 1
+        if arp.is_request:
+            summary.arp_requests += 1
+        else:
+            summary.arp_replies += 1
+        if arp.is_gratuitous:
+            summary.gratuitous += 1
+
+        # Signature 1: Ethernet source vs ARP sender mismatch.
+        if not arp.spa.is_unspecified and frame.src != arp.sha:
+            self._emit(
+                summary,
+                Finding(
+                    time=now,
+                    kind="ether-arp-mismatch",
+                    ip=arp.spa,
+                    mac=arp.sha,
+                    detail=f"frame src {frame.src}",
+                ),
+            )
+        # Signature 2a: request sweeps (netdiscover-style reconnaissance).
+        if arp.is_request and not arp.is_gratuitous:
+            fanout = self._request_fanout.setdefault(frame.src, [])
+            fanout.append((now, arp.tpa))
+            cutoff = now - self.scan_window
+            while fanout and fanout[0][0] < cutoff:
+                fanout.pop(0)
+            if len({target for _, target in fanout}) >= self.scan_threshold:
+                self._emit(
+                    summary,
+                    Finding(
+                        time=now,
+                        kind="arp-scan",
+                        mac=frame.src,
+                        detail=f">= {self.scan_threshold} distinct targets "
+                               f"in {self.scan_window:.0f}s",
+                    ),
+                )
+        # Signature 2b: unicast ARP request (scanner / poisoning tool tell).
+        if arp.is_request and not arp.is_gratuitous and not frame.dst.is_broadcast:
+            self._emit(
+                summary,
+                Finding(
+                    time=now,
+                    kind="unicast-arp-request",
+                    ip=arp.tpa,
+                    mac=frame.src,
+                ),
+            )
+        if arp.spa.is_unspecified:
+            return
+        # Signature 3: known-binding violation (operator-supplied table).
+        expected = self.known_bindings.get(arp.spa)
+        if expected is not None and expected != arp.sha:
+            self._emit(
+                summary,
+                Finding(
+                    time=now,
+                    kind="known-binding-violation",
+                    ip=arp.spa,
+                    mac=arp.sha,
+                    detail=f"expected {expected}",
+                ),
+            )
+        # Signature 4: reply storms (re-poisoning loops repeat themselves).
+        if arp.is_reply:
+            self._note_reply(arp, now, summary)
+        # Pairing database: rebinding / flip-flop timeline.
+        event, previous = self.db.observe(arp.spa, arp.sha, now)
+        if event in ("changed", "flip-flop"):
+            summary.rebindings += 1
+            explained = self._dhcp_explains(arp.spa, arp.sha, now)
+            self._emit(
+                summary,
+                Finding(
+                    time=now,
+                    kind="dhcp-explained-rebinding" if explained else event,
+                    ip=arp.spa,
+                    mac=arp.sha,
+                    detail=f"was {previous}",
+                ),
+            )
+
+    def _note_reply(
+        self, arp: ArpPacket, now: float, summary: CaptureSummary
+    ) -> None:
+        key = (arp.spa, arp.sha)
+        times = self._reply_times.setdefault(key, [])
+        times.append(now)
+        cutoff = now - self.storm_window
+        while times and times[0] < cutoff:
+            times.pop(0)
+        if len(times) >= self.storm_threshold and key not in self._storm_flagged:
+            self._storm_flagged.add(key)
+            self._emit(
+                summary,
+                Finding(
+                    time=now,
+                    kind="arp-reply-storm",
+                    ip=arp.spa,
+                    mac=arp.sha,
+                    detail=f"{len(times)} replies in {self.storm_window:.0f}s",
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def _maybe_dhcp(
+        self, frame: EthernetFrame, now: float, summary: CaptureSummary
+    ) -> None:
+        try:
+            packet = Ipv4Packet.decode(frame.payload)
+            if packet.proto != IpProto.UDP:
+                return
+            datagram = UdpDatagram.decode(packet.payload)
+            if datagram.dst_port not in (DHCP_CLIENT_PORT, DHCP_SERVER_PORT):
+                return
+            message = DhcpMessage.decode(datagram.payload)
+        except CodecError:
+            return
+        summary.dhcp_messages += 1
+        if (
+            message.message_type == DhcpMessageType.ACK
+            and not message.yiaddr.is_unspecified
+        ):
+            self._dhcp_recent[message.yiaddr] = (message.chaddr, now)
+
+    def _dhcp_explains(self, ip: Ipv4Address, mac: MacAddress, now: float) -> bool:
+        record = self._dhcp_recent.get(ip)
+        if record is None:
+            return False
+        lease_mac, when = record
+        return lease_mac == mac and now - when <= self.dhcp_grace

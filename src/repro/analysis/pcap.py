@@ -1,0 +1,109 @@
+"""pcap import/export for trace captures.
+
+Writes classic libpcap format (magic ``0xa1b2c3d4``, microsecond
+timestamps, LINKTYPE_ETHERNET), so a simulated capture opens directly in
+Wireshark/tcpdump — and real captures of Ethernet traffic can be pulled
+back in and fed to the offline analyzer.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.errors import CodecError
+from repro.sim.trace import Direction, TraceRecord
+
+__all__ = ["write_pcap", "read_pcap", "PCAP_MAGIC"]
+
+PCAP_MAGIC = 0xA1B2C3D4
+_LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+def write_pcap(
+    records: Iterable[TraceRecord],
+    destination: Union[str, Path],
+    snaplen: int = 65535,
+) -> int:
+    """Write ``records`` to ``destination``; returns the record count.
+
+    Records are sorted by timestamp (pcap readers expect monotonic
+    captures); frames longer than ``snaplen`` are truncated with the
+    original length preserved in the header, like a real capture.
+    """
+    ordered = sorted(records, key=lambda r: r.time)
+    path = Path(destination)
+    count = 0
+    with path.open("wb") as fh:
+        fh.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC,
+                2,  # version major
+                4,  # version minor
+                0,  # thiszone
+                0,  # sigfigs
+                snaplen,
+                _LINKTYPE_ETHERNET,
+            )
+        )
+        for record in ordered:
+            seconds = int(record.time)
+            micros = int(round((record.time - seconds) * 1_000_000))
+            if micros >= 1_000_000:  # carry from rounding
+                seconds += 1
+                micros -= 1_000_000
+            captured = record.frame[:snaplen]
+            fh.write(
+                _RECORD_HEADER.pack(seconds, micros, len(captured), len(record.frame))
+            )
+            fh.write(captured)
+            count += 1
+    return count
+
+
+def read_pcap(source: Union[str, Path]) -> List[TraceRecord]:
+    """Read an Ethernet pcap back into :class:`TraceRecord` objects.
+
+    Handles both byte orders; rejects nanosecond-format and non-Ethernet
+    captures with :class:`~repro.errors.CodecError`.
+    """
+    data = Path(source).read_bytes()
+    if len(data) < _GLOBAL_HEADER.size:
+        raise CodecError("pcap: file shorter than the global header")
+    magic_le = struct.unpack("<I", data[:4])[0]
+    if magic_le == PCAP_MAGIC:
+        endian = "<"
+    elif struct.unpack(">I", data[:4])[0] == PCAP_MAGIC:
+        endian = ">"
+    else:
+        raise CodecError(f"pcap: unrecognized magic 0x{magic_le:08x}")
+    header = struct.Struct(endian + "IHHiIII")
+    record_header = struct.Struct(endian + "IIII")
+    (_, _, _, _, _, _, linktype) = header.unpack_from(data, 0)
+    if linktype != _LINKTYPE_ETHERNET:
+        raise CodecError(f"pcap: linktype {linktype} is not Ethernet")
+    records: List[TraceRecord] = []
+    offset = header.size
+    index = 0
+    while offset < len(data):
+        if offset + record_header.size > len(data):
+            raise CodecError("pcap: truncated record header")
+        seconds, micros, caplen, _origlen = record_header.unpack_from(data, offset)
+        offset += record_header.size
+        if offset + caplen > len(data):
+            raise CodecError("pcap: truncated record body")
+        frame = data[offset : offset + caplen]
+        offset += caplen
+        records.append(
+            TraceRecord(
+                time=seconds + micros / 1_000_000,
+                location=f"pcap[{index}]",
+                direction=Direction.RX,
+                frame=frame,
+            )
+        )
+        index += 1
+    return records

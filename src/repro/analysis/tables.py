@@ -1,0 +1,77 @@
+"""Plain-text table and CSV rendering for the reproduced artifacts."""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "to_csv", "render_series"]
+
+
+def render_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Align columns and draw a minimal ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for row in cells:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        lines.append(" | ".join(padded))
+    return "\n".join(lines)
+
+
+def to_csv(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """CSV text (RFC 4180-ish quoting)."""
+    out = io.StringIO()
+
+    def emit(row: Sequence[object]) -> None:
+        quoted = []
+        for cell in row:
+            text = str(cell)
+            if any(ch in text for ch in ',"\n'):
+                text = '"' + text.replace('"', '""') + '"'
+            quoted.append(text)
+        out.write(",".join(quoted) + "\n")
+
+    emit(header)
+    for row in rows:
+        emit(row)
+    return out.getvalue()
+
+
+def render_series(
+    title: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[Optional[float]]],
+    x_label: str = "x",
+    width: int = 60,
+) -> str:
+    """Render figure data as aligned columns (one line per x value).
+
+    The repository does not plot; figures are reproduced as the exact
+    numeric series the plot would draw, which is what EXPERIMENTS.md
+    records and what shape assertions test.
+    """
+    header = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[object] = [f"{x:g}"]
+        for name in series:
+            value = series[name][i]
+            row.append("-" if value is None else f"{value:.6g}")
+        rows.append(row)
+    return render_table(header, rows, title=title)

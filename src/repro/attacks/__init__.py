@@ -1,0 +1,31 @@
+"""Attack toolkit: ARP poisoning variants, MITM, DoS, and supporting attacks."""
+
+from repro.attacks.arp_poison import POISON_TECHNIQUES, ArpPoisoner, PoisonTarget
+from repro.attacks.arp_scan import ArpScan
+from repro.attacks.base import Attack
+from repro.attacks.dhcp_starvation import DhcpStarvation
+from repro.attacks.dos import BlackholeDos
+from repro.attacks.mac_flood import MacFlood
+from repro.attacks.mitm import InterceptedPacket, MitmAttack
+from repro.attacks.neighbor_exhaustion import NeighborExhaustion
+from repro.attacks.port_steal import PortStealing
+from repro.attacks.rogue_dhcp import RogueDhcpServer
+from repro.attacks.session_hijack import FlowState, SessionHijacker
+
+__all__ = [
+    "Attack",
+    "ArpPoisoner",
+    "PoisonTarget",
+    "POISON_TECHNIQUES",
+    "ArpScan",
+    "MitmAttack",
+    "InterceptedPacket",
+    "BlackholeDos",
+    "MacFlood",
+    "PortStealing",
+    "NeighborExhaustion",
+    "DhcpStarvation",
+    "RogueDhcpServer",
+    "SessionHijacker",
+    "FlowState",
+]

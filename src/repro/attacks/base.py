@@ -1,0 +1,72 @@
+"""Common machinery for attack tools.
+
+Every attack is a start/stoppable component bound to an attacker host.
+The experiment harness uses :attr:`Attack.active_intervals` as ground
+truth when classifying scheme alerts into true/false positives.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from repro.errors import AttackError
+from repro.stack.host import Host
+
+__all__ = ["Attack"]
+
+
+class Attack(ABC):
+    """Base class: lifecycle, timing ground truth, frame accounting."""
+
+    #: Short machine-readable identifier, e.g. ``"arp-poison/reply"``.
+    kind: str = "attack"
+
+    def __init__(self, attacker: Host) -> None:
+        self.attacker = attacker
+        self.active = False
+        self.frames_sent = 0
+        self._intervals: List[Tuple[float, Optional[float]]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.active:
+            raise AttackError(f"{self.kind} already running")
+        self.active = True
+        self._intervals.append((self.attacker.sim.now, None))
+        self._start()
+
+    def stop(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        begin, _ = self._intervals[-1]
+        self._intervals[-1] = (begin, self.attacker.sim.now)
+        self._stop()
+
+    @abstractmethod
+    def _start(self) -> None:
+        """Begin emitting attack traffic."""
+
+    @abstractmethod
+    def _stop(self) -> None:
+        """Cease emitting attack traffic."""
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+    @property
+    def active_intervals(self) -> List[Tuple[float, float]]:
+        """Closed intervals during which the attack was running."""
+        now = self.attacker.sim.now
+        return [(b, e if e is not None else now) for b, e in self._intervals]
+
+    def was_active_at(self, time: float, slack: float = 0.0) -> bool:
+        """True when ``time`` falls inside (or within ``slack`` after) a run."""
+        return any(b <= time <= e + slack for b, e in self.active_intervals)
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "idle"
+        return f"{type(self).__name__}({self.kind}, {state}, frames={self.frames_sent})"

@@ -1,0 +1,70 @@
+"""Denial of service through ARP poisoning (blackholing).
+
+Instead of interposing, the attacker binds the target IP (typically the
+gateway) to a nonexistent MAC in the victims' caches: their frames sail
+into the void and connectivity dies.  The analysis separates this from
+MITM because some schemes detect interposition (a live rogue MAC answers
+probes) but are blind to blackholes (nothing answers at all).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.attacks.arp_poison import ArpPoisoner, PoisonTarget
+from repro.attacks.base import Attack
+from repro.stack.host import Host
+
+__all__ = ["BlackholeDos"]
+
+
+class BlackholeDos(Attack):
+    """Poison victims so ``target_ip`` resolves to a dead MAC."""
+
+    kind = "dos/blackhole"
+
+    def __init__(
+        self,
+        attacker: Host,
+        victims: List[Host],
+        target_ip: Ipv4Address,
+        dead_mac: Optional[MacAddress] = None,
+        technique: str = "reply",
+        interval: float = 1.0,
+    ) -> None:
+        super().__init__(attacker)
+        rng = attacker.sim.rng_stream(f"dos/{attacker.name}")
+        self.dead_mac = dead_mac or MacAddress.random(rng)
+        self.kind = f"dos/blackhole/{technique}"
+        targets = []
+        for victim in victims:
+            if victim.ip is None:
+                continue
+            targets.append(
+                PoisonTarget(
+                    victim_ip=victim.ip,
+                    victim_mac=victim.mac,
+                    spoofed_ip=target_ip,
+                    claimed_mac=self.dead_mac,
+                )
+            )
+        self.poisoner = ArpPoisoner(
+            attacker, targets, technique=technique, interval=interval
+        )
+
+    def _start(self) -> None:
+        self.poisoner.start()
+
+    def _stop(self) -> None:
+        self.poisoner.stop()
+
+    @property
+    def frames_sent(self) -> int:  # type: ignore[override]
+        return self.poisoner.frames_sent
+
+    @frames_sent.setter
+    def frames_sent(self, value: int) -> None:
+        # Attack.__init__ assigns 0; delegate the real count to the poisoner.
+        pass

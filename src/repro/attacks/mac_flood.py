@@ -1,0 +1,76 @@
+"""MAC flooding (macof-style CAM exhaustion).
+
+Supporting attack: floods frames with random source MACs until the
+switch's CAM fills and unknown traffic is flooded out every port,
+degrading the switch to a hub so a passive sniffer sees everything.
+The real tool (``macof``) ships ~155 000 frames/minute of small TCP SYNs
+with random everything; the defaults mirror that rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AttackError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.tcp import TcpSegment
+from repro.attacks.base import Attack
+from repro.stack.host import Host
+
+__all__ = ["MacFlood"]
+
+
+class MacFlood(Attack):
+    """Flood random-source frames to exhaust the switch CAM."""
+
+    kind = "mac-flood"
+
+    def __init__(
+        self,
+        attacker: Host,
+        rate_per_second: float = 2500.0,
+        burst: int = 50,
+    ) -> None:
+        super().__init__(attacker)
+        if rate_per_second <= 0 or burst < 1:
+            raise AttackError("rate and burst must be positive")
+        self.rate = rate_per_second
+        self.burst = burst
+        self._rng = attacker.sim.rng_stream(f"macflood/{attacker.name}")
+        self._cancel = None
+
+    def _start(self) -> None:
+        interval = self.burst / self.rate
+        self._emit_burst()
+        self._cancel = self.attacker.sim.call_every(
+            interval, self._emit_burst, name=self.kind
+        )
+
+    def _stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def _emit_burst(self) -> None:
+        for _ in range(self.burst):
+            self._emit_one()
+
+    def _emit_one(self) -> None:
+        src_mac = MacAddress.random(self._rng)
+        dst_mac = MacAddress.random(self._rng)
+        src_ip = Ipv4Address(self._rng.getrandbits(32))
+        dst_ip = Ipv4Address(self._rng.getrandbits(32))
+        segment = TcpSegment.syn(
+            src_port=self._rng.randrange(1024, 65536),
+            dst_port=self._rng.randrange(1024, 65536),
+            seq=self._rng.getrandbits(32),
+        )
+        packet = Ipv4Packet(
+            src=src_ip, dst=dst_ip, proto=IpProto.TCP, payload=segment.encode()
+        )
+        frame = EthernetFrame(
+            dst=dst_mac, src=src_mac, ethertype=EtherType.IPV4,
+            payload=packet.encode(),
+        )
+        self.frames_sent += 1
+        self.attacker.transmit_frame(frame)

@@ -1,0 +1,77 @@
+"""Neighbor-table exhaustion (ARP cache flooding DoS).
+
+The host-side cousin of CAM flooding: spray gratuitous announcements
+for thousands of never-used addresses so the victims' bounded neighbor
+tables evict the bindings they actually need (gateway, peers).  Every
+eviction forces a fresh resolution — churn an attacker can race — and
+on stacks with aggressive tables it is a plain DoS.
+
+Only stacks that create entries from unsolicited traffic are
+vulnerable, which is another row in the cache-policy ablation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AttackError
+from repro.net.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
+from repro.packets.arp import ArpPacket
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.attacks.base import Attack
+from repro.stack.host import Host
+
+__all__ = ["NeighborExhaustion"]
+
+
+class NeighborExhaustion(Attack):
+    """Flood gratuitous ARP for random in-subnet addresses."""
+
+    kind = "neighbor-exhaustion"
+
+    def __init__(
+        self,
+        attacker: Host,
+        rate_per_second: float = 200.0,
+        burst: int = 20,
+        spoof_sources: bool = True,
+    ) -> None:
+        super().__init__(attacker)
+        if attacker.network is None:
+            raise AttackError("exhaustion attacker needs to know the subnet")
+        if rate_per_second <= 0 or burst < 1:
+            raise AttackError("rate and burst must be positive")
+        self.rate = rate_per_second
+        self.burst = burst
+        self.spoof_sources = spoof_sources
+        self._rng = attacker.sim.rng_stream(f"exhaust/{attacker.name}")
+        self._cancel = None
+
+    def _start(self) -> None:
+        self._emit_burst()
+        self._cancel = self.attacker.sim.call_every(
+            self.burst / self.rate, self._emit_burst, name=self.kind
+        )
+
+    def _stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def _emit_burst(self) -> None:
+        network = self.attacker.network
+        assert network is not None
+        for _ in range(self.burst):
+            fake_ip = network.host(self._rng.randrange(1, network.num_hosts + 1))
+            fake_mac = (
+                MacAddress.random(self._rng)
+                if self.spoof_sources
+                else self.attacker.mac
+            )
+            announcement = ArpPacket.gratuitous(sha=fake_mac, spa=fake_ip)
+            frame = EthernetFrame(
+                dst=BROADCAST_MAC,
+                src=fake_mac if self.spoof_sources else self.attacker.mac,
+                ethertype=EtherType.ARP,
+                payload=announcement.encode(),
+            )
+            self.frames_sent += 1
+            self.attacker.transmit_frame(frame)

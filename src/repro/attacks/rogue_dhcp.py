@@ -1,0 +1,72 @@
+"""A rogue DHCP server (gateway-spoofing follow-up to starvation).
+
+Once the legitimate server's pool is starved (or simply by answering
+faster), the attacker leases addresses that name *itself* as the default
+gateway — every off-link flow from the duped clients then transits the
+attacker.  This is the DHCP-based cousin of ARP-poisoning MITM and the
+canonical thing DHCP snooping's trusted-port model prevents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AttackError
+from repro.net.addresses import Ipv4Address, Ipv4Network
+from repro.stack.dhcp_server import DhcpServer
+from repro.attacks.base import Attack
+from repro.stack.host import Host
+
+__all__ = ["RogueDhcpServer"]
+
+
+class RogueDhcpServer(Attack):
+    """Run a DHCP server on the attacker that hands out a poisoned gateway.
+
+    The advertised router defaults to the attacker's own IP; clients that
+    bind to a rogue lease will ARP for the attacker when they want the
+    gateway, no cache poisoning needed.
+    """
+
+    kind = "rogue-dhcp"
+
+    def __init__(
+        self,
+        attacker: Host,
+        network: Ipv4Network,
+        pool_start: int,
+        pool_end: int,
+        rogue_router: Optional[Ipv4Address] = None,
+        lease_time: float = 600.0,
+    ) -> None:
+        super().__init__(attacker)
+        if attacker.ip is None:
+            raise AttackError("rogue DHCP attacker needs an IP")
+        self.network = network
+        self.pool_start = pool_start
+        self.pool_end = pool_end
+        self.rogue_router = rogue_router or attacker.ip
+        self.lease_time = lease_time
+        self.server: Optional[DhcpServer] = None
+
+    def _start(self) -> None:
+        self.server = DhcpServer(
+            host=self.attacker,
+            network=self.network,
+            pool_start=self.pool_start,
+            pool_end=self.pool_end,
+            router=self.rogue_router,
+            lease_time=self.lease_time,
+        )
+        # The attacker will happily forward its victims' traffic onward so
+        # the dupe goes unnoticed.
+        self.attacker.ip_forward = True
+
+    def _stop(self) -> None:
+        if self.server is not None:
+            self.attacker.udp_unbind(67)
+            self.server = None
+
+    @property
+    def victims_captured(self) -> int:
+        return self.server.acks_sent if self.server is not None else 0

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-schemes``
+    The registry with profile one-liners.
+``table N`` / ``figure N``
+    Regenerate one of the paper's artifacts (N in 1..4) and print it;
+    ``--csv`` emits machine-readable CSV instead of the text table.
+``demo mitm|dos|flood|starvation``
+    Run a single attack scenario, optionally with ``--scheme KEY``
+    installed, and print what happened.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro._version import __version__
+from repro.core import report
+from repro.core.experiment import ScenarioConfig, run_effectiveness
+from repro.schemes.registry import SCHEME_FACTORIES, all_profiles
+
+__all__ = ["main", "build_parser"]
+
+_TABLES: Dict[int, Callable[[], "report.Artifact"]] = {
+    1: report.table_1_criteria,
+    2: report.table_2_effectiveness,
+    3: report.table_3_false_positives,
+    4: report.table_4_footprint,
+}
+_FIGURES: Dict[int, Callable[[], "report.Artifact"]] = {
+    1: report.figure_1_detection_latency,
+    2: report.figure_2_overhead,
+    3: report.figure_3_resolution_latency,
+    4: report.figure_4_interception,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'An Analysis on the Schemes for Detecting and "
+            "Preventing ARP Cache Poisoning Attacks' (ICDCSW 2007)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-schemes", help="list the analyzed defense schemes")
+
+    table = sub.add_parser("table", help="regenerate Table 1-4")
+    table.add_argument("number", type=int, choices=sorted(_TABLES))
+    table.add_argument("--csv", action="store_true", help="emit CSV")
+
+    figure = sub.add_parser("figure", help="regenerate Figure 1-4")
+    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+    figure.add_argument("--csv", action="store_true", help="emit CSV")
+
+    demo = sub.add_parser("demo", help="run one attack scenario")
+    demo.add_argument(
+        "attack", choices=["mitm", "dos", "flood", "starvation"]
+    )
+    demo.add_argument(
+        "--scheme", default=None, choices=sorted(SCHEME_FACTORIES),
+        help="defense to install (default: none)",
+    )
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--duration", type=float, default=30.0)
+
+    rec = sub.add_parser(
+        "recommend", help="rank schemes for a described deployment"
+    )
+    rec.add_argument("--static-addressing", action="store_true",
+                     help="no DHCP on this network")
+    rec.add_argument("--no-host-changes", action="store_true",
+                     help="hosts cannot be modified (BYOD/guest)")
+    rec.add_argument("--managed-switches", action="store_true")
+    rec.add_argument("--infrastructure", action="store_true",
+                     help="new servers/monitor stations can be deployed")
+    rec.add_argument("--max-cost", default="high",
+                     choices=["free", "low", "medium", "high"])
+    rec.add_argument("--prevention", action="store_true",
+                     help="require prevention, not just detection")
+
+    analyze = sub.add_parser(
+        "analyze", help="run the offline detection battery over a pcap file"
+    )
+    analyze.add_argument("pcap", help="path to an Ethernet pcap")
+    analyze.add_argument(
+        "--scan-threshold", type=int, default=16,
+        help="distinct ARP targets per window that count as a sweep",
+    )
+    return parser
+
+
+def _cmd_list_schemes(out) -> int:
+    for profile in all_profiles():
+        out.write(
+            f"{profile.key:15s} {profile.kind:10s} @{profile.placement:12s} "
+            f"{profile.display_name}\n"
+        )
+    return 0
+
+
+def _cmd_artifact(args, out) -> int:
+    registry = _TABLES if args.command == "table" else _FIGURES
+    artifact = registry[args.number]()
+    out.write((artifact.csv if args.csv else artifact.rendered) + "\n")
+    return 0
+
+
+def _cmd_demo(args, out) -> int:
+    if args.attack == "mitm":
+        return _demo_mitm(args, out)
+    if args.attack == "dos":
+        return _demo_dos(args, out)
+    if args.attack == "flood":
+        return _demo_flood(args, out)
+    return _demo_starvation(args, out)
+
+
+def _demo_mitm(args, out) -> int:
+    config = ScenarioConfig(seed=args.seed, attack_duration=args.duration)
+    result = run_effectiveness(args.scheme, "reply", config=config)
+    out.write(
+        f"scheme={result.scheme} technique=reply outcome={result.outcome}\n"
+        f"victim poisoned for {result.victim_poisoned_seconds:.1f}s; "
+        f"{result.packets_intercepted} packets intercepted; "
+        f"{result.tp_alerts} true alerts, {result.fp_alerts} false alerts\n"
+    )
+    return 0
+
+
+def _demo_dos(args, out) -> int:
+    from repro.attacks import BlackholeDos
+    from repro.core.experiment import Scenario
+
+    scenario = Scenario(ScenarioConfig(seed=args.seed))
+    if args.scheme is not None:
+        from repro.schemes.registry import make_scheme
+
+        make_scheme(args.scheme).install(lan=scenario.lan,
+                                         protected=scenario.protected_hosts())
+    scenario.warm_caches()
+    replies = []
+    cancel = scenario.sim.call_every(
+        0.5,
+        lambda: scenario.victim.ping(
+            scenario.gateway.ip, on_reply=lambda s, r: replies.append(s)
+        ),
+    )
+    before = scenario.sim.now
+    dos = BlackholeDos(
+        scenario.attacker, [scenario.victim], target_ip=scenario.gateway.ip
+    )
+    dos.start()
+    scenario.sim.run(until=before + args.duration)
+    dos.stop()
+    cancel()
+    expected = int(args.duration / 0.5)
+    out.write(
+        f"blackhole DoS for {args.duration:.0f}s: victim got {len(replies)}"
+        f"/{expected} gateway replies "
+        f"({'service denied' if len(replies) < expected / 2 else 'service survived'})\n"
+    )
+    return 0
+
+
+def _demo_flood(args, out) -> int:
+    from repro.attacks import MacFlood
+    from repro.core.experiment import Scenario
+
+    scenario = Scenario(ScenarioConfig(seed=args.seed))
+    if args.scheme is not None:
+        from repro.schemes.registry import make_scheme
+
+        make_scheme(args.scheme).install(lan=scenario.lan,
+                                         protected=scenario.protected_hosts())
+    flood = MacFlood(scenario.attacker)
+    flood.start()
+    scenario.sim.run(until=scenario.sim.now + min(args.duration, 5.0))
+    flood.stop()
+    switch = scenario.lan.switch
+    out.write(
+        f"sent {flood.frames_sent} flood frames; CAM {len(switch.cam)}/"
+        f"{switch.cam.capacity} ({'FAIL-OPEN' if switch.is_fail_open() else 'holding'})\n"
+    )
+    return 0
+
+
+def _demo_starvation(args, out) -> int:
+    from repro.attacks import DhcpStarvation
+    from repro.l2.topology import Lan
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=args.seed)
+    lan = Lan(sim, network="10.0.3.0/24")
+    server = lan.enable_dhcp(pool_start=100, pool_end=150)
+    attacker = lan.add_host("mallory")
+    if args.scheme is not None:
+        from repro.schemes.registry import make_scheme
+
+        make_scheme(args.scheme).install(lan, protected=[lan.gateway, attacker])
+    attack = DhcpStarvation(attacker, rate_per_second=30)
+    attack.start()
+    sim.run(until=min(args.duration, 30.0))
+    attack.stop()
+    out.write(
+        f"starvation: pool {server.free_addresses}/51 free, "
+        f"{attack.leases_captured} leases captured "
+        f"({'EXHAUSTED' if server.is_exhausted else 'surviving'})\n"
+    )
+    return 0
+
+
+def main(argv: Optional[list[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list-schemes":
+        return _cmd_list_schemes(out)
+    if args.command in ("table", "figure"):
+        return _cmd_artifact(args, out)
+    if args.command == "demo":
+        return _cmd_demo(args, out)
+    if args.command == "analyze":
+        from repro.analysis.forensics import OfflineArpAnalyzer
+        from repro.analysis.pcap import read_pcap
+
+        analyzer = OfflineArpAnalyzer()
+        analyzer.scan_threshold = args.scan_threshold
+        summary = analyzer.analyze(read_pcap(args.pcap))
+        out.write(summary.render() + "\n")
+        return 0
+    if args.command == "recommend":
+        from repro.core.recommend import Deployment, recommend
+
+        env = Deployment(
+            uses_dhcp=not args.static_addressing,
+            can_modify_hosts=not args.no_host_changes,
+            has_managed_switches=args.managed_switches,
+            can_run_infrastructure=args.infrastructure,
+            max_cost=args.max_cost,
+            want_prevention=args.prevention,
+        )
+        out.write(recommend(env).render() + "\n")
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""The cross-product analyzer: every scheme against every attack variant.
+
+This is the driver behind Table 2 (and the summary verdicts in the
+README): it runs the standard MITM scenario for each (scheme, technique)
+pair and collates the outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.attacks.arp_poison import POISON_TECHNIQUES
+from repro.core.experiment import (
+    EffectivenessResult,
+    ScenarioConfig,
+    run_effectiveness,
+)
+from repro.schemes.registry import SCHEME_FACTORIES
+
+__all__ = ["SchemeAnalysis", "Analyzer"]
+
+
+@dataclass
+class SchemeAnalysis:
+    """All effectiveness results for one scheme."""
+
+    scheme: str
+    results: List[EffectivenessResult] = field(default_factory=list)
+
+    def result_for(self, technique: str) -> Optional[EffectivenessResult]:
+        for result in self.results:
+            if result.technique == technique:
+                return result
+        return None
+
+    @property
+    def prevents_all(self) -> bool:
+        return bool(self.results) and all(r.prevented for r in self.results)
+
+    @property
+    def detects_all(self) -> bool:
+        return bool(self.results) and all(
+            r.detected or r.prevented for r in self.results
+        )
+
+    @property
+    def verdict(self) -> str:
+        if self.prevents_all:
+            return "prevents all variants"
+        if self.detects_all:
+            return "detects (or stops) all variants"
+        missed = [r.technique for r in self.results if r.outcome == "missed"]
+        if len(missed) == len(self.results):
+            return "ineffective"
+        return f"partial (missed: {', '.join(missed)})" if missed else "partial"
+
+
+class Analyzer:
+    """Run the scheme × technique matrix."""
+
+    def __init__(
+        self,
+        schemes: Optional[Sequence[str]] = None,
+        techniques: Optional[Sequence[str]] = None,
+        config: Optional[ScenarioConfig] = None,
+    ) -> None:
+        self.schemes = list(schemes) if schemes is not None else list(SCHEME_FACTORIES)
+        self.techniques = (
+            list(techniques) if techniques is not None else list(POISON_TECHNIQUES)
+        )
+        self.config = config or ScenarioConfig()
+
+    def run(self, include_baseline: bool = True) -> Dict[str, SchemeAnalysis]:
+        """Returns scheme-key -> analysis; key ``"none"`` is the baseline."""
+        keys: List[Optional[str]] = list(self.schemes)
+        if include_baseline:
+            keys = [None] + keys
+        out: Dict[str, SchemeAnalysis] = {}
+        for key in keys:
+            label = key or "none"
+            analysis = SchemeAnalysis(scheme=label)
+            for technique in self.techniques:
+                analysis.results.append(
+                    run_effectiveness(key, technique, config=self.config)
+                )
+            out[label] = analysis
+        return out

@@ -1,0 +1,80 @@
+"""Qualitative comparison criteria (Table 1).
+
+The analysis paper's centerpiece is a matrix of schemes against
+deployment criteria.  Here the matrix is *generated* from each scheme's
+:class:`~repro.schemes.base.SchemeProfile`, so the comparison table is a
+function of code, not prose, and tests can assert on its contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.schemes.base import ATTACK_VARIANTS, Coverage, SchemeProfile
+
+__all__ = ["Criterion", "CRITERIA", "comparison_matrix", "coverage_matrix"]
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One column of the qualitative comparison."""
+
+    key: str
+    label: str
+    extract: Callable[[SchemeProfile], str]
+
+
+def _yesno(value: bool) -> str:
+    return "yes" if value else "no"
+
+
+CRITERIA: List[Criterion] = [
+    Criterion("kind", "Type", lambda p: p.kind),
+    Criterion("placement", "Where deployed", lambda p: p.placement),
+    Criterion(
+        "infra", "Infra change", lambda p: _yesno(p.requires_infra_change)
+    ),
+    Criterion(
+        "hosts", "Host change", lambda p: _yesno(p.requires_host_change)
+    ),
+    Criterion("crypto", "Crypto", lambda p: _yesno(p.requires_crypto)),
+    Criterion(
+        "dhcp", "DHCP-friendly", lambda p: _yesno(p.supports_dhcp_networks)
+    ),
+    Criterion("cost", "Cost", lambda p: p.cost),
+]
+
+
+def comparison_matrix(
+    profiles: Sequence[SchemeProfile],
+) -> tuple[List[str], List[List[str]]]:
+    """Rows of (scheme, criterion values...); returns (header, rows)."""
+    header = ["Scheme"] + [c.label for c in CRITERIA]
+    rows = [
+        [profile.display_name] + [c.extract(profile) for c in CRITERIA]
+        for profile in profiles
+    ]
+    return header, rows
+
+
+_COVERAGE_SYMBOL = {
+    Coverage.PREVENTS: "P",
+    Coverage.DETECTS: "D",
+    Coverage.PARTIAL: "p",
+    Coverage.NONE: "-",
+}
+
+
+def coverage_matrix(
+    profiles: Sequence[SchemeProfile],
+) -> tuple[List[str], List[List[str]]]:
+    """Claimed coverage per attack variant (P/D/p/-)."""
+    header = ["Scheme"] + [v for v in ATTACK_VARIANTS]
+    rows = []
+    for profile in profiles:
+        rows.append(
+            [profile.display_name]
+            + [_COVERAGE_SYMBOL[profile.coverage_for(v)] for v in ATTACK_VARIANTS]
+        )
+    return header, rows

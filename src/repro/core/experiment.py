@@ -1,0 +1,552 @@
+"""Experiment harness: scenario construction and the measured runs.
+
+One :class:`Scenario` is the standard testbed shape — a switched LAN
+with a gateway, a monitor on a mirror port, ``n_hosts`` user stations
+and one attacker — and each ``run_*`` function below performs one of the
+paper's measurements on it.  Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.arp_poison import POISON_TECHNIQUES
+from repro.attacks.mitm import MitmAttack
+from repro.core.metrics import (
+    GroundTruth,
+    detection_latency,
+    mean,
+    poisoned_seconds,
+    score_alerts,
+    was_ever_poisoned,
+)
+from repro.errors import ExperimentError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address
+from repro.schemes.base import Scheme
+from repro.schemes.registry import make_scheme
+from repro.sim.simulator import Simulator
+from repro.stack.host import Host
+from repro.stack.os_profiles import LINUX, OsProfile, WINDOWS_XP
+from repro.workloads.benign import BenignTraffic, ChurnWorkload
+
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "EffectivenessResult",
+    "FalsePositiveResult",
+    "LatencyResult",
+    "OverheadResult",
+    "ResolutionLatencyResult",
+    "InterceptionTimeline",
+    "FootprintResult",
+    "run_effectiveness",
+    "run_false_positives",
+    "run_detection_latency",
+    "run_overhead",
+    "run_resolution_latency",
+    "run_interception_timeline",
+    "run_footprint",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the standard testbed."""
+
+    seed: int = 7
+    n_hosts: int = 8
+    network: str = "192.168.88.0/24"
+    victim_profile: OsProfile = WINDOWS_XP
+    other_profile: OsProfile = LINUX
+    with_monitor: bool = True
+    with_dhcp: bool = False
+    warmup: float = 5.0
+    attack_duration: float = 30.0
+    cooldown: float = 5.0
+
+
+class Scenario:
+    """The standard testbed, constructed from a :class:`ScenarioConfig`."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.lan = Lan(self.sim, network=config.network)
+        if config.with_monitor:
+            self.lan.add_monitor()
+        if config.with_dhcp:
+            self.lan.enable_dhcp()
+        self.users: List[Host] = []
+        for i in range(config.n_hosts):
+            profile = config.victim_profile if i == 0 else config.other_profile
+            self.users.append(self.lan.add_host(f"user-{i}", profile=profile))
+        self.victim = self.users[0]
+        self.attacker = self.lan.add_host("mallory")
+
+    @property
+    def gateway(self) -> Host:
+        return self.lan.gateway
+
+    def protected_hosts(self) -> List[Host]:
+        """Everything the defender administers (not the attacker's box)."""
+        return [
+            h
+            for h in self.lan.hosts.values()
+            if h.ip is not None and h is not self.attacker
+        ]
+
+    def install(self, scheme: Optional[Scheme]) -> None:
+        if scheme is not None:
+            scheme.install(self.lan, protected=self.protected_hosts())
+
+    def warm_caches(self) -> None:
+        """Victim <-> gateway exchange before the attack (realistic state)."""
+        self.victim.ping(self.gateway.ip)
+        self.sim.run(until=self.sim.now + self.config.warmup)
+
+    def ground_truth(
+        self, attack, targeted: Tuple[Ipv4Address, ...]
+    ) -> GroundTruth:
+        return GroundTruth(
+            true_bindings=self.lan.true_bindings(),
+            attacker_macs={self.attacker.mac},
+            attack_intervals=attack.active_intervals,
+            targeted_ips=set(targeted),
+        )
+
+
+def _make(scheme_key: Optional[str], **kwargs) -> Optional[Scheme]:
+    return make_scheme(scheme_key, **kwargs) if scheme_key is not None else None
+
+
+# ======================================================================
+# Table 2 — effectiveness per (scheme, technique)
+# ======================================================================
+@dataclass(frozen=True)
+class EffectivenessResult:
+    scheme: str
+    technique: str
+    prevented: bool
+    detected: bool
+    detection_latency: Optional[float]
+    tp_alerts: int
+    fp_alerts: int
+    victim_poisoned_seconds: float
+    packets_intercepted: int
+
+    @property
+    def outcome(self) -> str:
+        """The cell of Table 2: 'prevented' / 'detected' / 'missed'."""
+        if self.prevented:
+            return "prevented+detected" if self.detected else "prevented"
+        return "detected" if self.detected else "missed"
+
+
+def run_effectiveness(
+    scheme_key: Optional[str],
+    technique: str,
+    config: Optional[ScenarioConfig] = None,
+    **scheme_kwargs,
+) -> EffectivenessResult:
+    """Run one MITM attack with ``technique`` against one scheme."""
+    if technique not in POISON_TECHNIQUES:
+        raise ExperimentError(f"unknown technique {technique!r}")
+    config = config or ScenarioConfig()
+    scenario = Scenario(config)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    scenario.install(scheme)
+    scenario.warm_caches()
+
+    if technique == "reactive":
+        # The reactive race only exists when the victim must re-resolve:
+        # model the natural expiry of its gateway entry.
+        scenario.victim.arp_cache.age_out(scenario.gateway.ip)
+        scenario.gateway.arp_cache.age_out(scenario.victim.ip)
+
+    attack_start = scenario.sim.now
+    mitm = MitmAttack(
+        scenario.attacker, scenario.victim, scenario.gateway, technique=technique
+    )
+    mitm.start()
+    cancel = scenario.sim.call_every(
+        0.5, lambda: scenario.victim.ping(scenario.gateway.ip), name="victim-traffic"
+    )
+    scenario.sim.run(until=attack_start + config.attack_duration)
+    mitm.stop()
+    cancel()
+    scenario.sim.run(until=scenario.sim.now + config.cooldown)
+
+    targeted = (scenario.victim.ip, scenario.gateway.ip)
+    truth = scenario.ground_truth(mitm, targeted)
+    victim_bad = was_ever_poisoned(
+        scenario.victim, scenario.gateway.ip, scenario.gateway.mac, since=attack_start
+    )
+    gateway_bad = was_ever_poisoned(
+        scenario.gateway, scenario.victim.ip, scenario.victim.mac, since=attack_start
+    )
+    prevented = not (victim_bad or gateway_bad)
+    alerts = scheme.alerts if scheme is not None else []
+    score = score_alerts(alerts, truth)
+    latency = detection_latency(alerts, truth)
+    poisoned = poisoned_seconds(
+        scenario.victim,
+        scenario.gateway.ip,
+        scenario.gateway.mac,
+        start=attack_start,
+        end=scenario.sim.now,
+    )
+    return EffectivenessResult(
+        scheme=scheme_key or "none",
+        technique=technique,
+        prevented=prevented,
+        detected=score.tp_count > 0,
+        detection_latency=latency,
+        tp_alerts=score.tp_count,
+        fp_alerts=score.fp_count,
+        victim_poisoned_seconds=poisoned,
+        packets_intercepted=mitm.frames_relayed,
+    )
+
+
+# ======================================================================
+# Table 3 — false positives under benign churn
+# ======================================================================
+@dataclass(frozen=True)
+class FalsePositiveResult:
+    scheme: str
+    duration: float
+    fp_alerts: int
+    info_alerts: int
+    churn_events: Dict[str, int]
+
+    @property
+    def fp_per_hour(self) -> float:
+        return self.fp_alerts / (self.duration / 3600.0) if self.duration else 0.0
+
+
+def run_false_positives(
+    scheme_key: Optional[str],
+    duration: float = 1800.0,
+    config: Optional[ScenarioConfig] = None,
+    join_rate: float = 1 / 60.0,
+    nic_swap_rate: float = 1 / 300.0,
+    reannounce_rate: float = 1 / 120.0,
+    max_dhcp_hosts: int = 6,
+    **scheme_kwargs,
+) -> FalsePositiveResult:
+    """No attack at all: every actionable alert is a false positive.
+
+    ``max_dhcp_hosts`` is deliberately small so joins cycle through
+    leaves, producing the IP-reassignment (same address, new MAC) events
+    that historically plague passive detectors.
+    """
+    config = config or ScenarioConfig(with_dhcp=True)
+    if not config.with_dhcp:
+        config = ScenarioConfig(**{**config.__dict__, "with_dhcp": True})
+    scenario = Scenario(config)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    scenario.install(scheme)
+    traffic = BenignTraffic(scenario.lan, rate_per_host=0.2)
+    churn = ChurnWorkload(
+        scenario.lan,
+        join_rate=join_rate,
+        nic_swap_rate=nic_swap_rate,
+        reannounce_rate=reannounce_rate,
+        max_dhcp_hosts=max_dhcp_hosts,
+    )
+    start = scenario.sim.now
+    traffic.start()
+    churn.start()
+    scenario.sim.run(until=start + duration)
+    traffic.stop()
+    churn.stop()
+    truth = GroundTruth(
+        true_bindings=scenario.lan.true_bindings(),
+        attacker_macs=set(),
+        attack_intervals=(),
+        targeted_ips=set(),
+    )
+    alerts = scheme.alerts if scheme is not None else []
+    score = score_alerts(alerts, truth)
+    return FalsePositiveResult(
+        scheme=scheme_key or "none",
+        duration=duration,
+        fp_alerts=score.fp_count,
+        info_alerts=len(score.informational),
+        churn_events=churn.event_counts(),
+    )
+
+
+# ======================================================================
+# Figure 1 — detection latency vs attack rate
+# ======================================================================
+@dataclass(frozen=True)
+class LatencyResult:
+    scheme: str
+    poison_rate: float
+    detection_latency: Optional[float]
+    detected: bool
+
+
+def run_detection_latency(
+    scheme_key: str,
+    poison_rate: float,
+    config: Optional[ScenarioConfig] = None,
+    **scheme_kwargs,
+) -> LatencyResult:
+    """How fast does a detector fire as the re-poisoning rate varies?"""
+    if poison_rate <= 0:
+        raise ExperimentError("poison_rate must be positive")
+    config = config or ScenarioConfig()
+    scenario = Scenario(config)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    scenario.install(scheme)
+    scenario.warm_caches()
+    attack_start = scenario.sim.now
+    mitm = MitmAttack(
+        scenario.attacker,
+        scenario.victim,
+        scenario.gateway,
+        technique="reply",
+        interval=1.0 / poison_rate,
+    )
+    mitm.start()
+    scenario.sim.run(until=attack_start + config.attack_duration)
+    mitm.stop()
+    truth = scenario.ground_truth(mitm, (scenario.victim.ip, scenario.gateway.ip))
+    alerts = scheme.alerts if scheme is not None else []
+    latency = detection_latency(alerts, truth)
+    return LatencyResult(
+        scheme=scheme_key,
+        poison_rate=poison_rate,
+        detection_latency=latency,
+        detected=latency is not None,
+    )
+
+
+# ======================================================================
+# Figure 2 — protocol overhead vs LAN size
+# ======================================================================
+@dataclass(frozen=True)
+class OverheadResult:
+    scheme: str
+    n_hosts: int
+    resolutions: int
+    arp_frames: int
+    scheme_messages: int
+    total_wire_bytes: int
+
+    @property
+    def frames_per_resolution(self) -> float:
+        return (
+            (self.arp_frames + self.scheme_messages) / self.resolutions
+            if self.resolutions
+            else 0.0
+        )
+
+    @property
+    def bytes_per_resolution(self) -> float:
+        return self.total_wire_bytes / self.resolutions if self.resolutions else 0.0
+
+
+def run_overhead(
+    scheme_key: Optional[str],
+    n_hosts: int = 16,
+    resolutions_per_host: int = 4,
+    seed: int = 7,
+    **scheme_kwargs,
+) -> OverheadResult:
+    """Measure wire cost of address resolution under a scheme (no attack)."""
+    config = ScenarioConfig(seed=seed, n_hosts=n_hosts, victim_profile=LINUX)
+    scenario = Scenario(config)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    scenario.install(scheme)
+    scenario.sim.run(until=1.0)  # quiesce installation traffic
+    recorder = scenario.lan.switch.recorder
+    base_records = len(recorder.records)
+    base_bytes = recorder.total_bytes()
+
+    rng = scenario.sim.rng_stream("overhead/pairs")
+    resolutions = 0
+    when = scenario.sim.now
+    for host in scenario.users:
+        peers = rng.sample(
+            [h for h in scenario.users if h is not host],
+            k=min(resolutions_per_host, len(scenario.users) - 1),
+        )
+        for peer in peers:
+            when += 0.05
+            scenario.sim.schedule_at(
+                when, lambda h=host, p=peer: h.ping(p.ip), name="overhead-ping"
+            )
+            resolutions += 1
+    scenario.sim.run(until=when + 5.0)
+
+    from repro.packets.ethernet import EtherType, EthernetFrame
+
+    arp_frames = 0
+    for record in recorder.records[base_records:]:
+        frame = EthernetFrame.decode(record.frame)
+        if frame.ethertype == EtherType.ARP:
+            arp_frames += 1
+    return OverheadResult(
+        scheme=scheme_key or "none",
+        n_hosts=n_hosts,
+        resolutions=resolutions,
+        arp_frames=arp_frames,
+        scheme_messages=scheme.messages_sent if scheme is not None else 0,
+        total_wire_bytes=recorder.total_bytes() - base_bytes,
+    )
+
+
+# ======================================================================
+# Figure 3 — resolution latency distribution
+# ======================================================================
+@dataclass(frozen=True)
+class ResolutionLatencyResult:
+    scheme: str
+    samples: Tuple[float, ...]
+
+    @property
+    def mean_latency(self) -> float:
+        return mean(list(self.samples))
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+def run_resolution_latency(
+    scheme_key: Optional[str],
+    n_resolutions: int = 50,
+    seed: int = 7,
+    **scheme_kwargs,
+) -> ResolutionLatencyResult:
+    """Measure ARP resolution latency under a scheme (cold cache each time)."""
+    config = ScenarioConfig(seed=seed, n_hosts=4, victim_profile=LINUX)
+    scenario = Scenario(config)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    scenario.install(scheme)
+    scenario.sim.run(until=1.0)
+    host = scenario.users[0]
+    target = scenario.users[1]
+    when = scenario.sim.now
+    for _ in range(n_resolutions):
+        when += 2.0
+
+        def resolve_once(h=host, t=target) -> None:
+            h.arp_cache.age_out(t.ip)  # force a fresh resolution
+            h.resolve(t.ip, on_resolved=lambda mac: None)
+
+        scenario.sim.schedule_at(when, resolve_once, name="latency-resolve")
+    scenario.sim.run(until=when + 5.0)
+    return ResolutionLatencyResult(
+        scheme=scheme_key or "none",
+        samples=tuple(host.resolution_latencies[-n_resolutions:]),
+    )
+
+
+# ======================================================================
+# Figure 4 — interception ratio over time
+# ======================================================================
+@dataclass(frozen=True)
+class InterceptionTimeline:
+    scheme: str
+    bin_seconds: float
+    bins: Tuple[Tuple[float, float], ...]  # (bin start, interception ratio)
+
+    @property
+    def peak_ratio(self) -> float:
+        return max((r for _, r in self.bins), default=0.0)
+
+    @property
+    def mean_ratio(self) -> float:
+        return mean([r for _, r in self.bins])
+
+
+def run_interception_timeline(
+    scheme_key: Optional[str],
+    config: Optional[ScenarioConfig] = None,
+    duration: float = 120.0,
+    attack_at: float = 30.0,
+    ping_rate: float = 2.0,
+    bin_seconds: float = 10.0,
+    **scheme_kwargs,
+) -> InterceptionTimeline:
+    """Fraction of victim->gateway traffic the MITM relays, over time."""
+    config = config or ScenarioConfig()
+    scenario = Scenario(config)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    scenario.install(scheme)
+    scenario.warm_caches()
+    start = scenario.sim.now
+    sent_times: List[float] = []
+
+    def victim_ping() -> None:
+        sent_times.append(scenario.sim.now)
+        scenario.victim.ping(scenario.gateway.ip)
+
+    cancel = scenario.sim.call_every(1.0 / ping_rate, victim_ping, name="f4-traffic")
+    mitm = MitmAttack(scenario.attacker, scenario.victim, scenario.gateway)
+    scenario.sim.schedule_at(start + attack_at, mitm.start, name="f4-attack")
+    scenario.sim.run(until=start + duration)
+    if mitm.active:
+        mitm.stop()
+    cancel()
+
+    bins: List[Tuple[float, float]] = []
+    edge = start
+    while edge < start + duration:
+        sent = sum(1 for t in sent_times if edge <= t < edge + bin_seconds)
+        captured = len(
+            [
+                p
+                for p in mitm.intercepted_between(edge, edge + bin_seconds)
+                if p.src == scenario.victim.ip
+            ]
+        )
+        ratio = captured / sent if sent else 0.0
+        bins.append((edge - start, min(1.0, ratio)))
+        edge += bin_seconds
+    return InterceptionTimeline(
+        scheme=scheme_key or "none", bin_seconds=bin_seconds, bins=tuple(bins)
+    )
+
+
+# ======================================================================
+# Table 4 — resource footprint
+# ======================================================================
+@dataclass(frozen=True)
+class FootprintResult:
+    scheme: str
+    n_hosts: int
+    state_entries: int
+    scheme_messages: int
+    switch_cam_entries: int
+
+
+def run_footprint(
+    scheme_key: Optional[str],
+    n_hosts: int = 16,
+    settle: float = 30.0,
+    seed: int = 7,
+    **scheme_kwargs,
+) -> FootprintResult:
+    """How much state/chatter a scheme needs once the LAN is warm."""
+    config = ScenarioConfig(seed=seed, n_hosts=n_hosts, victim_profile=LINUX)
+    scenario = Scenario(config)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    scenario.install(scheme)
+    traffic = BenignTraffic(scenario.lan, rate_per_host=0.5)
+    traffic.start()
+    scenario.sim.run(until=settle)
+    traffic.stop()
+    return FootprintResult(
+        scheme=scheme_key or "none",
+        n_hosts=n_hosts,
+        state_entries=scheme.state_size() if scheme is not None else 0,
+        scheme_messages=scheme.messages_sent if scheme is not None else 0,
+        switch_cam_entries=len(scenario.lan.switch.cam),
+    )

@@ -1,0 +1,177 @@
+"""Quantitative metrics: what the evaluation actually measures.
+
+Ground truth lives here — the experiment knows the attacker's MAC, the
+true bindings, and exactly when each attack ran, so alerts can be scored
+into true/false positives, poisoning can be integrated over time, and
+overheads can be compared against a no-scheme baseline.  Schemes never
+see any of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.schemes.base import Alert, Severity
+from repro.stack.host import Host
+
+__all__ = [
+    "GroundTruth",
+    "AlertScore",
+    "score_alerts",
+    "poisoned_seconds",
+    "was_ever_poisoned",
+    "detection_latency",
+    "mean",
+    "percentile",
+]
+
+#: Severities that count as "the operator got paged".
+ACTIONABLE = (Severity.WARNING, Severity.CRITICAL)
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """What really happened, for scoring purposes."""
+
+    true_bindings: Dict[Ipv4Address, MacAddress]
+    attacker_macs: Set[MacAddress]
+    attack_intervals: Sequence[Tuple[float, float]] = ()
+    #: IPs whose bindings the attack actually tried to corrupt.
+    targeted_ips: Set[Ipv4Address] = field(default_factory=set)
+    #: Grace period after an attack stops during which alerts still count
+    #: as true positives (verification delays land slightly late).
+    slack: float = 2.0
+
+    def during_attack(self, time: float) -> bool:
+        return any(b <= time <= e + self.slack for b, e in self.attack_intervals)
+
+
+@dataclass
+class AlertScore:
+    """Alert classification for one scheme run."""
+
+    true_positives: List[Alert] = field(default_factory=list)
+    false_positives: List[Alert] = field(default_factory=list)
+    informational: List[Alert] = field(default_factory=list)
+
+    @property
+    def tp_count(self) -> int:
+        return len(self.true_positives)
+
+    @property
+    def fp_count(self) -> int:
+        return len(self.false_positives)
+
+    @property
+    def precision(self) -> float:
+        total = self.tp_count + self.fp_count
+        return self.tp_count / total if total else 1.0
+
+    def fp_rate_per_hour(self, duration: float) -> float:
+        if duration <= 0:
+            return 0.0
+        return self.fp_count / (duration / 3600.0)
+
+
+def score_alerts(alerts: Sequence[Alert], truth: GroundTruth) -> AlertScore:
+    """Split a scheme's alerts into TP / FP / informational.
+
+    An actionable alert is a true positive when it fired during (or just
+    after) an attack interval **and** implicates the attack — either by
+    naming an attacker MAC, or by naming an IP the attack targeted.
+    Actionable alerts outside attacks, or pointing at innocents, are
+    false positives.  Info-severity alerts are counted separately (they
+    are logs, not pages).
+    """
+    score = AlertScore()
+    for alert in alerts:
+        if alert.severity not in ACTIONABLE:
+            score.informational.append(alert)
+            continue
+        implicates = (alert.mac is not None and alert.mac in truth.attacker_macs) or (
+            alert.ip is not None and alert.ip in truth.targeted_ips
+        )
+        if truth.during_attack(alert.time) and implicates:
+            score.true_positives.append(alert)
+        else:
+            score.false_positives.append(alert)
+    return score
+
+
+def detection_latency(
+    alerts: Sequence[Alert], truth: GroundTruth
+) -> Optional[float]:
+    """Seconds from the first attack start to the first true positive."""
+    if not truth.attack_intervals:
+        return None
+    start = min(b for b, _ in truth.attack_intervals)
+    score = score_alerts(alerts, truth)
+    if not score.true_positives:
+        return None
+    first = min(a.time for a in score.true_positives)
+    return max(0.0, first - start)
+
+
+def poisoned_seconds(
+    host: Host,
+    ip: Ipv4Address,
+    true_mac: MacAddress,
+    start: float,
+    end: float,
+) -> float:
+    """Time within [start, end) that ``host`` held a wrong MAC for ``ip``.
+
+    Reconstructed from the cache's change history; absence of an entry
+    counts as not-poisoned (fail-stop, not fail-subverted).
+    """
+    if end <= start:
+        return 0.0
+    changes = [c for c in host.arp_cache.history if c.ip == ip and c.time < end]
+    current: Optional[MacAddress] = None
+    timeline: List[Tuple[float, MacAddress]] = []
+    for change in changes:
+        if change.time <= start:
+            current = change.new_mac
+        else:
+            timeline.append((change.time, change.new_mac))
+    poisoned = 0.0
+    cursor = start
+    for when, mac in timeline:
+        if current is not None and current != true_mac:
+            poisoned += when - cursor
+        current = mac
+        cursor = when
+    if current is not None and current != true_mac:
+        poisoned += end - cursor
+    return poisoned
+
+
+def was_ever_poisoned(
+    host: Host, ip: Ipv4Address, true_mac: MacAddress, since: float = 0.0
+) -> bool:
+    """Did ``host`` ever bind ``ip`` to a wrong MAC after ``since``?"""
+    for change in host.arp_cache.history:
+        if change.ip == ip and change.time >= since and change.new_mac != true_mac:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Small stats helpers (kept dependency-free)
+# ----------------------------------------------------------------------
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0 on empty input (missing data, not an error)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; 0 on empty input."""
+    if not values:
+        return 0.0
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = max(1, round(pct / 100 * len(ordered)))
+    return ordered[rank - 1]

@@ -1,0 +1,134 @@
+"""Deployment-constraint-driven scheme recommendation.
+
+The practical payoff of the paper's analysis is answering "so what do
+*I* deploy?".  This module encodes that decision procedure: describe
+the environment (:class:`Deployment`) and get the schemes whose
+profiles fit, ranked by how much they cover, with the reasons each
+rejected scheme was rejected — i.e., Table 1 turned into an engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.schemes.base import ATTACK_VARIANTS, Coverage, SchemeProfile
+from repro.schemes.registry import all_profiles
+
+__all__ = ["Deployment", "Recommendation", "recommend"]
+
+_COST_RANK = {"free": 0, "low": 1, "medium": 2, "high": 3}
+_COVERAGE_SCORE = {
+    Coverage.PREVENTS: 2.0,
+    Coverage.DETECTS: 1.0,
+    Coverage.PARTIAL: 0.5,
+    Coverage.NONE: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """Constraints of the environment the operator administers.
+
+    Attributes
+    ----------
+    uses_dhcp:
+        Clients get addresses dynamically (rules out DHCP-hostile schemes).
+    can_modify_hosts:
+        Kernel patches / agents / new stacks are deployable on every host
+        (false for BYOD and guest networks).
+    has_managed_switches:
+        Switch-resident features (port security, DAI) are available.
+    can_run_infrastructure:
+        New servers (AKD/LTA, monitor stations) can be stood up.
+    max_cost:
+        Budget ceiling: one of ``free``/``low``/``medium``/``high``.
+    want_prevention:
+        Require prevention; otherwise detection-only schemes qualify too.
+    """
+
+    uses_dhcp: bool = True
+    can_modify_hosts: bool = True
+    has_managed_switches: bool = False
+    can_run_infrastructure: bool = False
+    max_cost: str = "high"
+    want_prevention: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_cost not in _COST_RANK:
+            raise ValueError(
+                f"max_cost must be one of {sorted(_COST_RANK)}, got {self.max_cost!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The engine's output."""
+
+    suitable: Tuple[SchemeProfile, ...]
+    rejected: Dict[str, Tuple[str, ...]]  # scheme key -> reasons
+
+    @property
+    def best(self) -> Optional[SchemeProfile]:
+        return self.suitable[0] if self.suitable else None
+
+    def render(self) -> str:
+        lines: List[str] = []
+        if self.suitable:
+            lines.append("Suitable (best first):")
+            for profile in self.suitable:
+                lines.append(f"  + {profile.key:15s} {profile.display_name}")
+        else:
+            lines.append("No scheme fits these constraints.")
+        if self.rejected:
+            lines.append("Rejected:")
+            for key, reasons in self.rejected.items():
+                lines.append(f"  - {key:15s} {'; '.join(reasons)}")
+        return "\n".join(lines)
+
+
+def _violations(profile: SchemeProfile, env: Deployment) -> List[str]:
+    reasons: List[str] = []
+    if env.uses_dhcp and not profile.supports_dhcp_networks:
+        reasons.append("incompatible with DHCP addressing")
+    if profile.requires_host_change and not env.can_modify_hosts:
+        reasons.append("needs changes on every host")
+    if profile.placement == "switch" and not env.has_managed_switches:
+        reasons.append("needs managed switches")
+    if profile.requires_infra_change and not (
+        env.can_run_infrastructure or env.has_managed_switches
+    ):
+        reasons.append("needs new infrastructure")
+    if profile.placement in ("monitor",) and not env.can_run_infrastructure:
+        reasons.append("needs a monitor station on a mirror port")
+    if _COST_RANK[profile.cost] > _COST_RANK[env.max_cost]:
+        reasons.append(f"cost {profile.cost} exceeds budget {env.max_cost}")
+    if env.want_prevention and profile.kind != "prevention":
+        reasons.append("detection-only; prevention required")
+    return reasons
+
+
+def _score(profile: SchemeProfile) -> Tuple[float, int]:
+    """Rank key: coverage first, then cheaper wins ties."""
+    coverage = sum(
+        _COVERAGE_SCORE[profile.coverage_for(v)] for v in ATTACK_VARIANTS
+    )
+    return (coverage, -_COST_RANK[profile.cost])
+
+
+def recommend(
+    env: Deployment,
+    profiles: Optional[Sequence[SchemeProfile]] = None,
+) -> Recommendation:
+    """Rank the schemes that fit ``env``; explain the ones that do not."""
+    candidates = list(profiles) if profiles is not None else all_profiles()
+    suitable: List[SchemeProfile] = []
+    rejected: Dict[str, Tuple[str, ...]] = {}
+    for profile in candidates:
+        reasons = _violations(profile, env)
+        if reasons:
+            rejected[profile.key] = tuple(reasons)
+        else:
+            suitable.append(profile)
+    suitable.sort(key=_score, reverse=True)
+    return Recommendation(suitable=tuple(suitable), rejected=rejected)

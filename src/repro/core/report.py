@@ -1,0 +1,297 @@
+"""Regeneration of the paper's tables and figures.
+
+Each ``table_N`` / ``figure_N`` function runs the corresponding
+experiment(s) and returns a :class:`Artifact`: the header+rows (or
+series) plus a rendered plain-text form.  ``EXPERIMENTS.md`` records one
+full run; the benchmark suite regenerates each artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import render_series, render_table, to_csv
+from repro.core.analyzer import Analyzer
+from repro.core.criteria import comparison_matrix, coverage_matrix
+from repro.core.experiment import (
+    ScenarioConfig,
+    run_detection_latency,
+    run_false_positives,
+    run_footprint,
+    run_interception_timeline,
+    run_overhead,
+    run_resolution_latency,
+)
+from repro.schemes.registry import SCHEME_FACTORIES, all_profiles
+
+__all__ = [
+    "Artifact",
+    "table_1_criteria",
+    "table_2_effectiveness",
+    "table_3_false_positives",
+    "table_4_footprint",
+    "figure_1_detection_latency",
+    "figure_2_overhead",
+    "figure_3_resolution_latency",
+    "figure_4_interception",
+]
+
+#: Detection-capable schemes (monitor/host detectors) used by Figure 1.
+DETECTOR_KEYS = ("arpwatch", "snort-arpspoof", "active-probe", "middleware", "hybrid")
+#: Schemes with a resolution-latency story (Figure 3).
+LATENCY_KEYS = (None, "s-arp", "tarp")
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One reproduced table or figure."""
+
+    artifact_id: str
+    title: str
+    header: Sequence[str]
+    rows: Sequence[Sequence[object]]
+    rendered: str
+
+    @property
+    def csv(self) -> str:
+        return to_csv(self.header, self.rows)
+
+
+# ======================================================================
+# Tables
+# ======================================================================
+def table_1_criteria() -> Artifact:
+    """Qualitative comparison matrix (pure metadata; instant)."""
+    profiles = all_profiles()
+    header, rows = comparison_matrix(profiles)
+    cov_header, cov_rows = coverage_matrix(profiles)
+    merged_header = list(header) + [f"claimed:{h}" for h in cov_header[1:]]
+    merged_rows = [list(r) + cr[1:] for r, cr in zip(rows, cov_rows)]
+    rendered = render_table(
+        merged_header, merged_rows, title="Table 1 — scheme comparison matrix"
+    )
+    return Artifact(
+        artifact_id="T1",
+        title="Scheme comparison matrix",
+        header=merged_header,
+        rows=merged_rows,
+        rendered=rendered,
+    )
+
+
+def table_2_effectiveness(
+    schemes: Optional[Sequence[str]] = None,
+    config: Optional[ScenarioConfig] = None,
+) -> Artifact:
+    """Measured effectiveness: scheme × technique outcomes."""
+    analyzer = Analyzer(schemes=schemes, config=config)
+    analyses = analyzer.run(include_baseline=True)
+    header = ["Scheme"] + list(analyzer.techniques) + ["verdict"]
+    rows: List[List[object]] = []
+    for label, analysis in analyses.items():
+        row: List[object] = [label]
+        for technique in analyzer.techniques:
+            result = analysis.result_for(technique)
+            row.append(result.outcome if result is not None else "?")
+        row.append(analysis.verdict)
+        rows.append(row)
+    rendered = render_table(
+        header, rows, title="Table 2 — measured effectiveness per attack variant"
+    )
+    return Artifact(
+        artifact_id="T2",
+        title="Measured effectiveness",
+        header=header,
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+def table_3_false_positives(
+    schemes: Optional[Sequence[str]] = None,
+    duration: float = 900.0,
+) -> Artifact:
+    """False alarms per scheme under benign churn (no attack at all)."""
+    keys = list(schemes) if schemes is not None else list(SCHEME_FACTORIES)
+    header = ["Scheme", "FP alerts", "FP/hour", "info alerts", "churn events"]
+    rows: List[List[object]] = []
+    for key in keys:
+        result = run_false_positives(key, duration=duration)
+        churn_total = sum(result.churn_events.values())
+        rows.append(
+            [
+                key,
+                result.fp_alerts,
+                f"{result.fp_per_hour:.1f}",
+                result.info_alerts,
+                churn_total,
+            ]
+        )
+    rendered = render_table(
+        header, rows, title=f"Table 3 — false positives over {duration:.0f}s of churn"
+    )
+    return Artifact(
+        artifact_id="T3",
+        title="False positives under benign churn",
+        header=header,
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+def table_4_footprint(
+    schemes: Optional[Sequence[str]] = None,
+    host_counts: Sequence[int] = (8, 16, 32),
+) -> Artifact:
+    """State entries / scheme chatter as the LAN grows."""
+    keys = list(schemes) if schemes is not None else list(SCHEME_FACTORIES)
+    header = ["Scheme"] + [f"state@{n}" for n in host_counts] + [
+        f"msgs@{n}" for n in host_counts
+    ]
+    rows: List[List[object]] = []
+    for key in keys:
+        states, msgs = [], []
+        for n in host_counts:
+            result = run_footprint(key, n_hosts=n)
+            states.append(result.state_entries)
+            msgs.append(result.scheme_messages)
+        rows.append([key] + states + msgs)
+    rendered = render_table(header, rows, title="Table 4 — resource footprint")
+    return Artifact(
+        artifact_id="T4",
+        title="Resource footprint",
+        header=header,
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+# ======================================================================
+# Figures
+# ======================================================================
+def figure_1_detection_latency(
+    rates: Sequence[float] = (0.2, 0.5, 1.0, 2.0, 5.0, 10.0),
+    schemes: Sequence[str] = DETECTOR_KEYS,
+) -> Artifact:
+    """Detection latency (s) vs poison rate (pps), per detector."""
+    series: Dict[str, List[Optional[float]]] = {key: [] for key in schemes}
+    for rate in rates:
+        for key in schemes:
+            result = run_detection_latency(key, poison_rate=rate)
+            series[key].append(result.detection_latency)
+    rendered = render_series(
+        "Figure 1 — detection latency (s) vs poison rate (pps)",
+        list(rates),
+        series,
+        x_label="rate_pps",
+    )
+    header = ["rate_pps"] + list(schemes)
+    rows = [
+        [rate] + [series[key][i] for key in schemes] for i, rate in enumerate(rates)
+    ]
+    return Artifact(
+        artifact_id="F1",
+        title="Detection latency vs attack rate",
+        header=header,
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+def figure_2_overhead(
+    host_counts: Sequence[int] = (8, 16, 32, 64),
+    schemes: Sequence[Optional[str]] = (None, "s-arp", "tarp", "active-probe"),
+) -> Artifact:
+    """ARP-layer frames per resolution vs LAN size."""
+    labels = [key or "plain-arp" for key in schemes]
+    series: Dict[str, List[Optional[float]]] = {label: [] for label in labels}
+    for n in host_counts:
+        for key, label in zip(schemes, labels):
+            result = run_overhead(key, n_hosts=n)
+            series[label].append(result.frames_per_resolution)
+    rendered = render_series(
+        "Figure 2 — resolution message overhead vs LAN size",
+        [float(n) for n in host_counts],
+        series,
+        x_label="hosts",
+    )
+    header = ["hosts"] + labels
+    rows = [
+        [n] + [series[label][i] for label in labels]
+        for i, n in enumerate(host_counts)
+    ]
+    return Artifact(
+        artifact_id="F2",
+        title="Protocol overhead vs LAN size",
+        header=header,
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+def figure_3_resolution_latency(
+    n_resolutions: int = 30,
+    schemes: Sequence[Optional[str]] = LATENCY_KEYS,
+) -> Artifact:
+    """Mean/max ARP resolution latency: plain vs S-ARP vs TARP."""
+    header = ["Scheme", "mean_ms", "max_ms", "slowdown_vs_plain"]
+    rows: List[List[object]] = []
+    plain_mean: Optional[float] = None
+    for key in schemes:
+        result = run_resolution_latency(key, n_resolutions=n_resolutions)
+        mean_ms = result.mean_latency * 1e3
+        if key is None:
+            plain_mean = mean_ms
+        slowdown = (mean_ms / plain_mean) if plain_mean else 0.0
+        rows.append(
+            [
+                key or "plain-arp",
+                f"{mean_ms:.3f}",
+                f"{result.max_latency * 1e3:.3f}",
+                f"{slowdown:.2f}x",
+            ]
+        )
+    rendered = render_table(
+        header, rows, title="Figure 3 — ARP resolution latency"
+    )
+    return Artifact(
+        artifact_id="F3",
+        title="Resolution latency comparison",
+        header=header,
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+def figure_4_interception(
+    schemes: Sequence[Optional[str]] = (None, "anticap", "dai", "s-arp", "hybrid"),
+    duration: float = 120.0,
+    attack_at: float = 30.0,
+) -> Artifact:
+    """Interception ratio over time, with and without defenses."""
+    labels = [key or "none" for key in schemes]
+    timelines = {}
+    xs: List[float] = []
+    for key, label in zip(schemes, labels):
+        timeline = run_interception_timeline(
+            key, duration=duration, attack_at=attack_at
+        )
+        timelines[label] = [ratio for _, ratio in timeline.bins]
+        xs = [t for t, _ in timeline.bins]
+    rendered = render_series(
+        "Figure 4 — MITM interception ratio over time (attack starts at "
+        f"t={attack_at:.0f}s)",
+        xs,
+        timelines,
+        x_label="t_s",
+    )
+    header = ["t_s"] + labels
+    rows = [[x] + [timelines[label][i] for label in labels] for i, x in enumerate(xs)]
+    return Artifact(
+        artifact_id="F4",
+        title="Interception ratio over time",
+        header=header,
+        rows=rows,
+        rendered=rendered,
+    )

@@ -1,0 +1,111 @@
+"""The Local Ticket Agent (LTA) behind TARP (ticket-based ARP).
+
+TARP avoids S-ARP's per-reply signing by handing each host a long-lived
+*ticket* — the LTA's signature over the host's ``(IP, MAC)`` binding with
+a validity window — at attachment time.  ARP replies carry the ticket;
+receivers verify one LTA signature instead of contacting anybody.  The
+known weakness (which the analysis surfaces) is that tickets can be
+replayed by an attacker who also spoofs the victim's MAC.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+
+__all__ = ["Ticket", "LocalTicketAgent"]
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """An LTA-signed ``(IP, MAC)`` binding with a validity window."""
+
+    ip: Ipv4Address
+    mac: MacAddress
+    issued_at: float
+    expires_at: float
+    signature: bytes
+
+    @staticmethod
+    def message_bytes(
+        ip: Ipv4Address, mac: MacAddress, issued_at: float, expires_at: float
+    ) -> bytes:
+        return (
+            b"repro-ticket|"
+            + ip.packed
+            + mac.packed
+            + struct.pack("!dd", issued_at, expires_at)
+        )
+
+    def verify(self, lta_key: PublicKey) -> bool:
+        return lta_key.verify(
+            self.message_bytes(self.ip, self.mac, self.issued_at, self.expires_at),
+            self.signature,
+        )
+
+    def valid_at(self, now: float) -> bool:
+        return self.issued_at <= now < self.expires_at
+
+    def encode(self) -> bytes:
+        return (
+            self.ip.packed
+            + self.mac.packed
+            + struct.pack("!dd", self.issued_at, self.expires_at)
+            + struct.pack("!H", len(self.signature))
+            + self.signature
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ticket":
+        if len(data) < 4 + 6 + 16 + 2:
+            raise CryptoError("ticket blob too short")
+        ip = Ipv4Address(data[:4])
+        mac = MacAddress(data[4:10])
+        issued_at, expires_at = struct.unpack("!dd", data[10:26])
+        (sig_len,) = struct.unpack("!H", data[26:28])
+        if len(data) < 28 + sig_len:
+            raise CryptoError("ticket blob truncated")
+        return cls(
+            ip=ip,
+            mac=mac,
+            issued_at=issued_at,
+            expires_at=expires_at,
+            signature=data[28 : 28 + sig_len],
+        )
+
+
+class LocalTicketAgent:
+    """Issues tickets; holds the only signing key in a TARP deployment."""
+
+    def __init__(self, keypair: KeyPair, default_validity: float = 3600.0) -> None:
+        self.keypair = keypair
+        self.default_validity = default_validity
+        self.tickets_issued = 0
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keypair.public
+
+    def issue(
+        self,
+        ip: Ipv4Address,
+        mac: MacAddress,
+        now: float,
+        validity: float | None = None,
+    ) -> Ticket:
+        span = self.default_validity if validity is None else validity
+        if span <= 0:
+            raise CryptoError(f"ticket validity must be positive, got {span}")
+        message = Ticket.message_bytes(ip, mac, now, now + span)
+        self.tickets_issued += 1
+        return Ticket(
+            ip=ip,
+            mac=mac,
+            issued_at=now,
+            expires_at=now + span,
+            signature=self.keypair.private.sign(message),
+        )

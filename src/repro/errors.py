@@ -1,0 +1,80 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``KeyError`` from their own code, and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class ClockError(SimulationError):
+    """An event was scheduled in the past or the clock moved backwards."""
+
+
+class AddressError(ReproError):
+    """A MAC or IPv4 address (or subnet) could not be parsed or is invalid."""
+
+
+class CodecError(ReproError):
+    """A packet could not be encoded to or decoded from bytes."""
+
+
+class TruncatedPacketError(CodecError):
+    """The byte buffer ended before the structure it should contain."""
+
+
+class ChecksumError(CodecError):
+    """A decoded packet carried an incorrect checksum."""
+
+
+class TopologyError(ReproError):
+    """Devices/ports were wired together inconsistently."""
+
+
+class PortError(TopologyError):
+    """A port was attached twice, or used while unattached."""
+
+
+class StackError(ReproError):
+    """A host network-stack operation failed."""
+
+
+class ArpResolutionError(StackError):
+    """An ARP resolution gave up after exhausting its retries."""
+
+
+class DhcpError(StackError):
+    """A DHCP transaction failed (no offer, NAK, pool exhausted...)."""
+
+
+class CryptoError(ReproError):
+    """Key management or signature verification failed."""
+
+
+class SignatureError(CryptoError):
+    """A signature did not verify."""
+
+
+class KeyRegistrationError(CryptoError):
+    """A public key could not be registered or looked up."""
+
+
+class SchemeError(ReproError):
+    """A defense scheme was configured or installed incorrectly."""
+
+
+class AttackError(ReproError):
+    """An attack tool was configured incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition is inconsistent or cannot run."""

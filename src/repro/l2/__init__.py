@@ -1,0 +1,17 @@
+"""Layer-2 devices: ports, links, hub, learning switch, topology builder."""
+
+from repro.l2.cam import CamEntry, CamTable
+from repro.l2.device import Device, Link, Port
+from repro.l2.hub import Hub
+from repro.l2.switch import IngressFilter, Switch
+
+__all__ = [
+    "CamEntry",
+    "CamTable",
+    "Device",
+    "Link",
+    "Port",
+    "Hub",
+    "Switch",
+    "IngressFilter",
+]

@@ -1,0 +1,139 @@
+"""The switch's CAM (content-addressable memory) table.
+
+Capacity and aging are first-class because MAC flooding exploits exactly
+these: once the table is full a real switch can no longer learn new
+stations and floods their traffic ("fail-open"), which is what turns a
+switch back into a hub for an eavesdropper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.net.addresses import MacAddress
+
+__all__ = ["CamEntry", "CamTable"]
+
+#: Default CAM aging time, seconds (Cisco default is 300 s; MikroTik ~300 s).
+DEFAULT_AGING = 300.0
+#: Default capacity; the MikroTik hAP lite referenced in the field holds 1024.
+DEFAULT_CAPACITY = 1024
+
+
+@dataclass
+class CamEntry:
+    """One learned station."""
+
+    mac: MacAddress
+    port_index: int
+    learned_at: float
+    expires_at: float
+    static: bool = False
+
+
+class CamTable:
+    """MAC -> port map with aging and a hard capacity.
+
+    All time handling is explicit (callers pass ``now``) so the table stays
+    a pure data structure, trivially testable.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        aging: float = DEFAULT_AGING,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if aging <= 0:
+            raise ValueError(f"aging must be positive, got {aging}")
+        self.capacity = capacity
+        self.aging = aging
+        self._entries: Dict[MacAddress, CamEntry] = {}
+        self.learn_failures = 0
+        self.moves = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, mac: MacAddress) -> bool:
+        return mac in self._entries
+
+    def __iter__(self) -> Iterator[CamEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def expire(self, now: float) -> int:
+        """Drop aged-out entries; returns how many were removed."""
+        dead = [
+            mac
+            for mac, entry in self._entries.items()
+            if not entry.static and entry.expires_at <= now
+        ]
+        for mac in dead:
+            del self._entries[mac]
+        return len(dead)
+
+    def learn(self, mac: MacAddress, port_index: int, now: float) -> bool:
+        """Learn (or refresh) ``mac`` on ``port_index``.
+
+        Returns ``False`` when the table is full and the MAC is new — the
+        fail-open condition MAC flooding aims for.  Multicast/broadcast
+        source addresses are never learned (they are invalid sources).
+        """
+        if mac.is_multicast:
+            return False
+        self.expire(now)
+        entry = self._entries.get(mac)
+        if entry is not None:
+            if entry.static:
+                return True
+            if entry.port_index != port_index:
+                self.moves += 1
+                entry.port_index = port_index
+            entry.expires_at = now + self.aging
+            return True
+        if self.is_full:
+            self.learn_failures += 1
+            return False
+        self._entries[mac] = CamEntry(
+            mac=mac,
+            port_index=port_index,
+            learned_at=now,
+            expires_at=now + self.aging,
+        )
+        return True
+
+    def add_static(self, mac: MacAddress, port_index: int, now: float) -> None:
+        """Pin a station to a port (never ages, never moves)."""
+        self._entries[mac] = CamEntry(
+            mac=mac,
+            port_index=port_index,
+            learned_at=now,
+            expires_at=float("inf"),
+            static=True,
+        )
+
+    def lookup(self, mac: MacAddress, now: float) -> Optional[int]:
+        """Port index for ``mac``, or ``None`` (flood)."""
+        entry = self._entries.get(mac)
+        if entry is None:
+            return None
+        if not entry.static and entry.expires_at <= now:
+            del self._entries[mac]
+            return None
+        return entry.port_index
+
+    def entries_on_port(self, port_index: int) -> list[CamEntry]:
+        return [e for e in self._entries.values() if e.port_index == port_index]
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def utilization(self) -> float:
+        """Fill fraction in [0, 1] — MAC-flood detectors watch this."""
+        return len(self._entries) / self.capacity

@@ -1,0 +1,152 @@
+"""Devices, ports and links — the physical layer of the simulated LAN.
+
+A :class:`Device` owns :class:`Port` objects; a :class:`Link` joins exactly
+two ports and carries raw frame bytes between them with a configurable
+propagation latency and serialization rate.  Every link can host a
+:class:`~repro.sim.trace.TraceRecorder`, which is how sniffers and the
+evaluation's overhead accounting observe traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import PortError, TopologyError
+from repro.sim.simulator import Simulator
+from repro.sim.trace import Direction, TraceRecorder
+
+__all__ = ["Device", "Port", "Link"]
+
+#: Default one-way propagation latency for a LAN segment, seconds.
+DEFAULT_LATENCY = 50e-6
+#: Default link rate, bits per second (100 Mb/s FastEthernet).
+DEFAULT_RATE_BPS = 100e6
+
+
+class Port:
+    """One attachment point on a device."""
+
+    def __init__(self, device: "Device", index: int, name: str = "") -> None:
+        self.device = device
+        self.index = index
+        self.name = name or f"{device.name}.eth{index}"
+        self.link: Optional["Link"] = None
+        self.up = True
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    @property
+    def attached(self) -> bool:
+        return self.link is not None
+
+    def transmit(self, data: bytes) -> None:
+        """Send raw frame bytes out this port (no-op when down/unattached)."""
+        if not self.up:
+            return
+        if self.link is None:
+            return
+        self.tx_frames += 1
+        self.tx_bytes += len(data)
+        self.link.carry(self, data)
+
+    def deliver(self, data: bytes) -> None:
+        """Called by the link when a frame arrives at this port."""
+        if not self.up:
+            return
+        self.rx_frames += 1
+        self.rx_bytes += len(data)
+        self.device.on_frame(self, data)
+
+    def shut(self) -> None:
+        """Administratively disable the port (what port security does)."""
+        self.up = False
+
+    def no_shut(self) -> None:
+        self.up = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"Port({self.name}, {state})"
+
+
+class Link:
+    """A full-duplex point-to-point segment between two ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Port,
+        b: Port,
+        latency: float = DEFAULT_LATENCY,
+        rate_bps: float = DEFAULT_RATE_BPS,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> None:
+        if a is b:
+            raise TopologyError("cannot link a port to itself")
+        for port in (a, b):
+            if port.attached:
+                raise PortError(f"{port.name} is already attached")
+        if latency < 0:
+            raise TopologyError(f"negative latency: {latency}")
+        if rate_bps <= 0:
+            raise TopologyError(f"non-positive rate: {rate_bps}")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.rate_bps = rate_bps
+        self.recorder = recorder
+        a.link = self
+        b.link = self
+        self.frames_carried = 0
+        self.bytes_carried = 0
+
+    def other_end(self, port: Port) -> Port:
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise PortError(f"{port.name} is not an endpoint of this link")
+
+    def carry(self, sender: Port, data: bytes) -> None:
+        """Propagate ``data`` from ``sender`` to the opposite port."""
+        receiver = self.other_end(sender)
+        self.frames_carried += 1
+        self.bytes_carried += len(data)
+        if self.recorder is not None:
+            self.recorder.record(
+                self.sim.now, sender.name, Direction.TX, data
+            )
+        delay = self.latency + len(data) * 8 / self.rate_bps
+        self.sim.schedule(delay, lambda: receiver.deliver(data), name="link.carry")
+
+    def disconnect(self) -> None:
+        """Tear the link down (cable pull)."""
+        self.a.link = None
+        self.b.link = None
+
+    def __repr__(self) -> str:
+        return f"Link({self.a.name} <-> {self.b.name})"
+
+
+class Device:
+    """Base class for anything with ports (hosts, switches, hubs)."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: List[Port] = []
+
+    def add_port(self, name: str = "") -> Port:
+        port = Port(self, index=len(self.ports), name=name)
+        self.ports.append(port)
+        return port
+
+    def on_frame(self, port: Port, data: bytes) -> None:
+        """Handle a frame arriving on ``port``.  Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, ports={len(self.ports)})"

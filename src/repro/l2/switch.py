@@ -1,0 +1,264 @@
+"""A learning Ethernet switch with CAM table, mirroring and ingress hooks.
+
+The switch is deliberately faithful to the behaviours the attacks and
+defenses exploit:
+
+* source-MAC learning with aging and a bounded CAM (MAC flooding turns the
+  switch into a hub once the table is full);
+* unknown-unicast/broadcast flooding;
+* a SPAN/mirror port, which is where monitor-based detectors (arpwatch,
+  Snort, the hybrid) listen;
+* ingress filter hooks, which is where switch-resident defenses (port
+  security, DHCP snooping + Dynamic ARP Inspection) install themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.errors import CodecError, TopologyError
+from repro.l2.cam import CamTable, DEFAULT_AGING, DEFAULT_CAPACITY
+from repro.l2.device import Device, Port
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.sim.simulator import Simulator
+from repro.sim.trace import Direction, TraceRecorder
+
+__all__ = ["Switch", "IngressFilter"]
+
+#: An ingress filter sees ``(port, frame)`` and returns True to allow.
+IngressFilter = Callable[[Port, EthernetFrame], bool]
+
+
+class Switch(Device):
+    """A store-and-forward learning switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        num_ports: int,
+        cam_capacity: int = DEFAULT_CAPACITY,
+        cam_aging: float = DEFAULT_AGING,
+    ) -> None:
+        super().__init__(sim, name)
+        if num_ports < 2:
+            raise TopologyError("a switch needs at least two ports")
+        for _ in range(num_ports):
+            self.add_port()
+        self.cam = CamTable(capacity=cam_capacity, aging=cam_aging)
+        self._cam_capacity = cam_capacity
+        self._cam_aging = cam_aging
+        self.ingress_filters: List[IngressFilter] = []
+        self._mirror_sources: Set[int] = set()
+        self._mirror_target: Optional[int] = None
+        self.recorder = TraceRecorder()
+        self.flooded_frames = 0
+        self.forwarded_frames = 0
+        self.dropped_frames = 0
+        self.undecodable_frames = 0
+        self.vlan_violations = 0
+        #: port index -> ("access", vid) | ("trunk", allowed-vids-or-None)
+        self._vlan_config: dict[int, tuple] = {}
+        self.vlan_aware = False
+        self._vlan_cams: dict[int, CamTable] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_mirror(self, source_ports: List[int], target_port: int) -> None:
+        """Mirror traffic entering ``source_ports`` to ``target_port``.
+
+        Models the "port mirroring" / SPAN feature monitors rely on.
+        """
+        if target_port in source_ports:
+            raise TopologyError("mirror target cannot be one of its sources")
+        for idx in source_ports + [target_port]:
+            if not 0 <= idx < len(self.ports):
+                raise TopologyError(f"no such port index {idx}")
+        self._mirror_sources = set(source_ports)
+        self._mirror_target = target_port
+
+    def mirror_all_to(self, target_port: int) -> None:
+        """Mirror every non-target port to ``target_port``."""
+        sources = [p.index for p in self.ports if p.index != target_port]
+        self.set_mirror(sources, target_port)
+
+    def set_access_port(self, index: int, vid: int) -> None:
+        """Make ``index`` an untagged access port in VLAN ``vid``.
+
+        Configuring any VLAN makes the switch VLAN-aware: every
+        unconfigured port defaults to access VLAN 1.
+        """
+        self._check_port(index)
+        if not 1 <= vid <= 4094:
+            raise TopologyError(f"VLAN id out of range: {vid}")
+        self._vlan_config[index] = ("access", vid)
+        self.vlan_aware = True
+
+    def set_trunk_port(self, index: int, allowed: Optional[Set[int]] = None) -> None:
+        """Make ``index`` an 802.1Q trunk (``allowed=None`` carries all)."""
+        self._check_port(index)
+        self._vlan_config[index] = ("trunk", set(allowed) if allowed else None)
+        self.vlan_aware = True
+
+    def _check_port(self, index: int) -> None:
+        if not 0 <= index < len(self.ports):
+            raise TopologyError(f"no such port index {index}")
+
+    def _port_role(self, index: int) -> tuple:
+        return self._vlan_config.get(index, ("access", 1))
+
+    def _port_carries(self, index: int, vid: int) -> bool:
+        role, value = self._port_role(index)
+        if role == "access":
+            return value == vid
+        return value is None or vid in value
+
+    def _cam_for(self, vid: int) -> CamTable:
+        cam = self._vlan_cams.get(vid)
+        if cam is None:
+            cam = CamTable(capacity=self._cam_capacity, aging=self._cam_aging)
+            self._vlan_cams[vid] = cam
+        return cam
+
+    def add_ingress_filter(self, filt: IngressFilter) -> Callable[[], None]:
+        """Install an ingress filter; returns an uninstaller."""
+        self.ingress_filters.append(filt)
+
+        def remove() -> None:
+            if filt in self.ingress_filters:
+                self.ingress_filters.remove(filt)
+
+        return remove
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def on_frame(self, port: Port, data: bytes) -> None:
+        self.recorder.record(self.sim.now, port.name, Direction.RX, data)
+        try:
+            frame = EthernetFrame.decode(data)
+        except CodecError:
+            self.undecodable_frames += 1
+            return
+
+        if self.vlan_aware:
+            self._vlan_on_frame(port, frame, data)
+            return
+
+        for filt in list(self.ingress_filters):
+            if not filt(port, frame):
+                self.dropped_frames += 1
+                self._mirror(port, data)  # monitors still see dropped frames
+                return
+
+        self.cam.learn(frame.src, port.index, self.sim.now)
+        self._mirror(port, data)
+
+        if frame.dst.is_multicast:  # includes broadcast
+            self._flood(port, data)
+            return
+        out_index = self.cam.lookup(frame.dst, self.sim.now)
+        if out_index is None:
+            # Unknown unicast: flood.  This is the fail-open behaviour MAC
+            # flooding forces permanently by filling the CAM.
+            self._flood(port, data)
+            return
+        if out_index == port.index:
+            return  # hairpin; already on the right segment
+        self.forwarded_frames += 1
+        self._send(out_index, data)
+
+    def _vlan_on_frame(self, port: Port, frame: EthernetFrame, data: bytes) -> None:
+        """The VLAN-aware data plane: classify, learn and forward per VID."""
+        from repro.packets.vlan import tag_frame, untag_frame
+
+        role, value = self._port_role(port.index)
+        if frame.ethertype == EtherType.VLAN:
+            if role == "access":
+                # Hosts on access ports must not inject tags (VLAN-hopping
+                # attempts land here).
+                self.vlan_violations += 1
+                return
+            try:
+                tag, inner = untag_frame(frame)
+            except CodecError:
+                self.undecodable_frames += 1
+                return
+            vid = tag.vid
+            if not self._port_carries(port.index, vid):
+                self.vlan_violations += 1
+                return
+        else:
+            inner = frame
+            vid = value if role == "access" else 1  # trunk native VLAN
+            if role == "trunk" and not self._port_carries(port.index, vid):
+                self.vlan_violations += 1  # native VLAN pruned off this trunk
+                return
+
+        for filt in list(self.ingress_filters):
+            if not filt(port, inner):
+                self.dropped_frames += 1
+                self._mirror(port, data)
+                return
+
+        cam = self._cam_for(vid)
+        cam.learn(inner.src, port.index, self.sim.now)
+        self._mirror(port, data)
+
+        if inner.dst.is_multicast:
+            self._vlan_flood(port, inner, vid, tag_frame)
+            return
+        out_index = cam.lookup(inner.dst, self.sim.now)
+        if out_index is None:
+            self._vlan_flood(port, inner, vid, tag_frame)
+            return
+        if out_index == port.index:
+            return
+        self.forwarded_frames += 1
+        self._vlan_egress(out_index, inner, vid, tag_frame)
+
+    def _vlan_flood(self, ingress: Port, inner: EthernetFrame, vid: int, tag_frame) -> None:
+        self.flooded_frames += 1
+        for port in self.ports:
+            if port.index == ingress.index or port.index == self._mirror_target:
+                continue
+            if not self._port_carries(port.index, vid):
+                continue
+            self._vlan_egress(port.index, inner, vid, tag_frame)
+
+    def _vlan_egress(self, port_index: int, inner: EthernetFrame, vid: int, tag_frame) -> None:
+        role, _ = self._port_role(port_index)
+        if role == "trunk" and vid != 1:  # native VLAN leaves untagged
+            self.ports[port_index].transmit(tag_frame(inner, vid).encode())
+        else:
+            self.ports[port_index].transmit(inner.encode())
+
+    def _flood(self, ingress: Port, data: bytes) -> None:
+        self.flooded_frames += 1
+        for port in self.ports:
+            if port.index == ingress.index:
+                continue
+            if port.index == self._mirror_target:
+                continue  # mirror port gets its copy via _mirror()
+            port.transmit(data)
+
+    def _send(self, port_index: int, data: bytes) -> None:
+        self.ports[port_index].transmit(data)
+
+    def _mirror(self, ingress: Port, data: bytes) -> None:
+        if self._mirror_target is None:
+            return
+        if ingress.index in self._mirror_sources:
+            self.ports[self._mirror_target].transmit(data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stations_on_port(self, port_index: int) -> int:
+        return len(self.cam.entries_on_port(port_index))
+
+    def is_fail_open(self) -> bool:
+        """True once the CAM is full (new stations get flooded)."""
+        self.cam.expire(self.sim.now)
+        return self.cam.is_full

@@ -1,0 +1,307 @@
+"""LAN topology builder.
+
+Assembles the experimental workplace every evaluation scenario uses: a
+switch (with optional mirror port), a gateway router that can run DHCP,
+some number of user hosts, optionally an attacker and a monitor station —
+the same shape as the classic "home/office LAN plus IDS on a mirror port"
+testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TopologyError
+from repro.l2.device import DEFAULT_LATENCY, DEFAULT_RATE_BPS, Link
+from repro.l2.switch import Switch
+from repro.net.addresses import Ipv4Address, Ipv4Network, MacAddress
+from repro.net.oui import KNOWN_OUIS
+from repro.sim.simulator import Simulator
+from repro.stack.dhcp_server import DhcpServer
+from repro.stack.host import Host
+from repro.stack.os_profiles import LINUX, OsProfile
+from repro.stack.router import Router
+
+__all__ = ["Lan"]
+
+_REALISTIC_OUIS = sorted(KNOWN_OUIS)
+
+
+class Lan:
+    """A single-switch LAN with a gateway, hosts and an optional monitor.
+
+    Addressing convention: the gateway takes ``.1``; statically addressed
+    hosts are handed ``.10`` upward; the DHCP pool (when enabled) sits in
+    the upper half of the subnet.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: str | Ipv4Network = "192.168.88.0/24",
+        switch_ports: int = 64,
+        cam_capacity: int = 1024,
+        cam_aging: float = 300.0,
+        link_latency: float = DEFAULT_LATENCY,
+        link_rate_bps: float = DEFAULT_RATE_BPS,
+    ) -> None:
+        self.sim = sim
+        self.network = Ipv4Network(network)
+        self.link_latency = link_latency
+        self.link_rate_bps = link_rate_bps
+        self.switch = Switch(
+            sim,
+            "switch1",
+            num_ports=switch_ports,
+            cam_capacity=cam_capacity,
+            cam_aging=cam_aging,
+        )
+        #: All switches by name; ``switch1`` is the primary (uplink) one.
+        self.switches: Dict[str, Switch] = {"switch1": self.switch}
+        self._next_port: Dict[str, int] = {"switch1": 0}
+        #: Primary-switch port indices that are inter-switch trunks —
+        #: switch-resident schemes must treat these as trusted/multi-MAC.
+        self.trunk_ports: set[int] = set()
+        #: host name -> (switch name, port index on that switch).
+        self.attachment_of: Dict[str, tuple[str, int]] = {}
+        self._next_host_index = 10
+        self._macs_used: set[MacAddress] = set()
+        self._mac_rng = sim.rng_stream("lan/mac-alloc")
+        self.hosts: Dict[str, Host] = {}
+        self.links: List[Link] = []
+        self.gateway = self._make_gateway()
+        self.dhcp_server: Optional[DhcpServer] = None
+        self.monitor: Optional[Host] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _alloc_mac(self, realistic: bool = True) -> MacAddress:
+        while True:
+            oui = self._mac_rng.choice(_REALISTIC_OUIS) if realistic else None
+            mac = MacAddress.random(self._mac_rng, oui=oui)
+            if mac not in self._macs_used:
+                self._macs_used.add(mac)
+                return mac
+
+    def _take_switch_port(self, switch_name: str = "switch1") -> int:
+        switch = self.switches[switch_name]
+        index = self._next_port[switch_name]
+        if index >= len(switch.ports):
+            raise TopologyError(f"{switch_name} is out of ports")
+        self._next_port[switch_name] = index + 1
+        return index
+
+    def _wire(self, host: Host, switch_name: str = "switch1") -> int:
+        port_index = self._take_switch_port(switch_name)
+        link = Link(
+            self.sim,
+            host.nic,
+            self.switches[switch_name].ports[port_index],
+            latency=self.link_latency,
+            rate_bps=self.link_rate_bps,
+        )
+        self.links.append(link)
+        self.attachment_of[host.name] = (switch_name, port_index)
+        return port_index
+
+    def add_switch(
+        self,
+        name: str,
+        num_ports: int = 16,
+        cam_capacity: int = 1024,
+        cam_aging: float = 300.0,
+        uplink_to: str = "switch1",
+    ) -> Switch:
+        """Add a secondary switch trunked to ``uplink_to``.
+
+        Models mixed environments (e.g. a cheap unmanaged switch hanging
+        off the managed core) — the topology where switch-resident
+        defenses famously go blind for intra-segment traffic.
+        """
+        if name in self.switches:
+            raise TopologyError(f"duplicate switch name {name!r}")
+        switch = Switch(
+            self.sim,
+            name,
+            num_ports=num_ports,
+            cam_capacity=cam_capacity,
+            cam_aging=cam_aging,
+        )
+        self.switches[name] = switch
+        self._next_port[name] = 0
+        uplink = self.switches[uplink_to]
+        up_index = self._take_switch_port(uplink_to)
+        down_index = self._take_switch_port(name)
+        link = Link(
+            self.sim,
+            uplink.ports[up_index],
+            switch.ports[down_index],
+            latency=self.link_latency,
+            rate_bps=self.link_rate_bps,
+        )
+        self.links.append(link)
+        if uplink_to == "switch1":
+            self.trunk_ports.add(up_index)
+        return switch
+
+    def _make_gateway(self) -> Router:
+        router = Router(
+            self.sim,
+            "gateway",
+            mac=self._alloc_mac(),
+            ip=self.network.host(1),
+            network=self.network,
+        )
+        self.hosts[router.name] = router
+        self.switch_port_of: Dict[str, int] = {}
+        self.switch_port_of[router.name] = self._wire(router)
+        return router
+
+    def add_host(
+        self,
+        name: str,
+        ip: Optional[Ipv4Address | str | int] = None,
+        profile: OsProfile = LINUX,
+        use_gateway: bool = True,
+        realistic_mac: bool = True,
+        switch: str = "switch1",
+    ) -> Host:
+        """Add a statically addressed host.
+
+        ``ip`` may be an address, a host index within the subnet, or
+        ``None`` to auto-assign the next free static address.  Pass
+        ``use_gateway=False`` for stations (monitors, attackers doing pure
+        L2 work) that should never route off-link.
+        """
+        if name in self.hosts:
+            raise TopologyError(f"duplicate host name {name!r}")
+        if ip is None:
+            address = self.network.host(self._next_host_index)
+            self._next_host_index += 1
+        elif isinstance(ip, int):
+            address = self.network.host(ip)
+        else:
+            address = Ipv4Address(ip)
+            if address not in self.network:
+                raise TopologyError(f"{address} is not in {self.network}")
+        host = Host(
+            self.sim,
+            name,
+            mac=self._alloc_mac(realistic=realistic_mac),
+            ip=address,
+            network=self.network,
+            gateway=self.gateway.ip if use_gateway else None,
+            profile=profile,
+        )
+        self.hosts[name] = host
+        port_index = self._wire(host, switch)
+        if switch == "switch1":
+            self.switch_port_of[name] = port_index
+        return host
+
+    def add_dhcp_host(
+        self, name: str, profile: OsProfile = LINUX, switch: str = "switch1"
+    ) -> Host:
+        """Add a host with no address (to be configured by a DhcpClient)."""
+        if name in self.hosts:
+            raise TopologyError(f"duplicate host name {name!r}")
+        host = Host(
+            self.sim,
+            name,
+            mac=self._alloc_mac(),
+            ip=None,
+            network=self.network,
+            gateway=None,
+            profile=profile,
+        )
+        self.hosts[name] = host
+        port_index = self._wire(host, switch)
+        if switch == "switch1":
+            self.switch_port_of[name] = port_index
+        return host
+
+    def add_monitor(self, name: str = "monitor", with_ip: bool = True) -> Host:
+        """Attach a promiscuous monitor station on a mirror port.
+
+        The switch mirrors every other port to the monitor's port — the
+        standard IDS deployment the detection schemes assume.
+        """
+        if self.monitor is not None:
+            raise TopologyError("monitor already attached")
+        address = self.network.host(2) if with_ip else None
+        monitor = Host(
+            self.sim,
+            name,
+            mac=self._alloc_mac(),
+            ip=address,
+            network=self.network,
+            gateway=None,
+        )
+        monitor.promiscuous = True
+        self.hosts[name] = monitor
+        port_index = self._wire(monitor)
+        self.switch_port_of[name] = port_index
+        self.switch.mirror_all_to(port_index)
+        self.monitor = monitor
+        return monitor
+
+    def enable_dhcp(
+        self,
+        pool_start: Optional[int] = None,
+        pool_end: Optional[int] = None,
+        lease_time: float = 600.0,
+    ) -> DhcpServer:
+        """Run a DHCP server on the gateway (home-router style)."""
+        if self.dhcp_server is not None:
+            raise TopologyError("DHCP already enabled")
+        half = self.network.num_hosts // 2
+        start = pool_start if pool_start is not None else half + 1
+        end = pool_end if pool_end is not None else self.network.num_hosts
+        self.dhcp_server = DhcpServer(
+            host=self.gateway,
+            network=self.network,
+            pool_start=start,
+            pool_end=end,
+            router=self.gateway.ip,
+            lease_time=lease_time,
+        )
+        return self.dhcp_server
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise TopologyError(f"no such host {name!r}") from None
+
+    def port_of(self, name: str) -> int:
+        """Primary-switch port index a host is wired to.
+
+        Raises for hosts on secondary switches — use :attr:`attachment_of`
+        for the general (switch, port) location.
+        """
+        try:
+            return self.switch_port_of[name]
+        except KeyError:
+            raise TopologyError(
+                f"{name!r} is not attached to the primary switch"
+            ) from None
+
+    def true_bindings(self) -> Dict[Ipv4Address, MacAddress]:
+        """Ground truth (IP -> MAC) for every addressed host.
+
+        This is what metrics compare poisoned caches against; schemes do
+        NOT get to see it.
+        """
+        return {
+            host.ip: host.mac for host in self.hosts.values() if host.ip is not None
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Lan({self.network}, hosts={len(self.hosts)}, "
+            f"monitor={'yes' if self.monitor else 'no'})"
+        )

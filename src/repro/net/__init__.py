@@ -1,0 +1,25 @@
+"""Address model: MAC / IPv4 value types and the vendor OUI registry."""
+
+from repro.net.addresses import (
+    BROADCAST_IP,
+    BROADCAST_MAC,
+    ZERO_IP,
+    ZERO_MAC,
+    Ipv4Address,
+    Ipv4Network,
+    MacAddress,
+)
+from repro.net.oui import KNOWN_OUIS, oui_of, vendor_for
+
+__all__ = [
+    "MacAddress",
+    "Ipv4Address",
+    "Ipv4Network",
+    "BROADCAST_MAC",
+    "ZERO_MAC",
+    "ZERO_IP",
+    "BROADCAST_IP",
+    "KNOWN_OUIS",
+    "oui_of",
+    "vendor_for",
+]

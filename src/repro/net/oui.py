@@ -1,0 +1,55 @@
+"""A tiny vendor OUI registry.
+
+arpwatch-style monitors report the NIC vendor of a newly seen station; the
+registry below carries a representative slice of the IEEE OUI database so
+those reports (and the locally-administered heuristic some detectors use)
+work inside the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import MacAddress
+
+__all__ = ["vendor_for", "oui_of", "KNOWN_OUIS"]
+
+#: OUI prefix -> vendor name.  A representative sample, not the full IEEE list.
+KNOWN_OUIS: dict[int, str] = {
+    0x080027: "PCS Systemtechnik (VirtualBox)",
+    0x525400: "QEMU/KVM virtual NIC",
+    0x005056: "VMware",
+    0x4C5E0C: "Routerboard (MikroTik)",
+    0xE48D8C: "Routerboard (MikroTik)",
+    0xDCA632: "Raspberry Pi Trading",
+    0xB827EB: "Raspberry Pi Foundation",
+    0x3C5282: "Hewlett Packard",
+    0x00163E: "Xensource",
+    0xF0DEF1: "Wistron InfoComm",
+    0x001B63: "Apple",
+    0xA45E60: "Apple",
+    0x00E04C: "Realtek",
+    0x00D861: "Micro-Star (MSI)",
+    0x4C3488: "Intel Corporate",
+    0x8C1645: "LCFC Electronics (Lenovo)",
+    0x000C29: "VMware",
+    0x001A2B: "Ayecom Technology",
+    0x886B6E: "Shenzhen Bilian",
+    0x6CB311: "Shenzhen Lianrui",
+}
+
+
+def oui_of(mac: MacAddress) -> int:
+    """The 24-bit OUI prefix of ``mac``."""
+    return mac.oui
+
+
+def vendor_for(mac: MacAddress) -> Optional[str]:
+    """Vendor name for ``mac``, or ``None`` when the OUI is unknown.
+
+    Locally-administered addresses have no registered vendor by
+    construction and always return ``None``.
+    """
+    if mac.is_locally_administered:
+        return None
+    return KNOWN_OUIS.get(mac.oui)

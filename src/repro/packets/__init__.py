@@ -1,0 +1,48 @@
+"""Byte-accurate packet codecs: Ethernet II, ARP, IPv4, UDP, TCP, ICMP, DHCP."""
+
+from repro.packets.arp import ArpExtension, ArpOp, ArpPacket, SARP_MAGIC, TARP_MAGIC
+from repro.packets.base import Reader, Wire, internet_checksum
+from repro.packets.dhcp import (
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    DhcpMessage,
+    DhcpMessageType,
+    DhcpOption,
+)
+from repro.packets.ethernet import EtherType, EthernetFrame, MAX_PAYLOAD, MIN_PAYLOAD
+from repro.packets.icmp import IcmpMessage, IcmpType
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.tcp import TcpFlags, TcpSegment
+from repro.packets.udp import UdpDatagram
+from repro.packets.vlan import VlanTag, tag_frame, untag_frame, vlan_of
+
+__all__ = [
+    "ArpExtension",
+    "ArpOp",
+    "ArpPacket",
+    "SARP_MAGIC",
+    "TARP_MAGIC",
+    "Reader",
+    "Wire",
+    "internet_checksum",
+    "DhcpMessage",
+    "DhcpMessageType",
+    "DhcpOption",
+    "DHCP_CLIENT_PORT",
+    "DHCP_SERVER_PORT",
+    "EtherType",
+    "EthernetFrame",
+    "MIN_PAYLOAD",
+    "MAX_PAYLOAD",
+    "IcmpMessage",
+    "IcmpType",
+    "IpProto",
+    "Ipv4Packet",
+    "TcpFlags",
+    "TcpSegment",
+    "UdpDatagram",
+    "VlanTag",
+    "tag_frame",
+    "untag_frame",
+    "vlan_of",
+]

@@ -1,0 +1,227 @@
+"""ARP (RFC 826) packets, including the authenticated extensions.
+
+The 28-byte Ethernet/IPv4 ARP body is encoded exactly as on the wire.
+S-ARP and TARP both extend classic ARP by appending authentication
+material after the standard body (S-ARP appends a signed header; TARP
+appends a ticket) so unmodified hosts still parse the leading body.  We
+model that faithfully with a tagged trailing extension:
+
+``| standard 28-byte ARP | magic(4) | length(2) | extension bytes |``
+
+Minimum-frame zero padding cannot be confused with an extension because
+the magic values are non-zero.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CodecError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.base import Reader
+
+__all__ = ["ArpOp", "ArpExtension", "ArpPacket", "SARP_MAGIC", "TARP_MAGIC"]
+
+SARP_MAGIC = b"SARP"
+TARP_MAGIC = b"TARP"
+_KNOWN_MAGICS = (SARP_MAGIC, TARP_MAGIC)
+
+_HTYPE_ETHERNET = 1
+_PTYPE_IPV4 = 0x0800
+
+
+class ArpOp:
+    """ARP operation codes."""
+
+    REQUEST = 1
+    REPLY = 2
+
+    @classmethod
+    def name(cls, value: int) -> str:
+        return {1: "request", 2: "reply"}.get(value, f"op{value}")
+
+
+@dataclass(frozen=True)
+class ArpExtension:
+    """Authentication material appended after the standard ARP body."""
+
+    magic: bytes
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.magic not in _KNOWN_MAGICS:
+            raise CodecError(f"unknown ARP extension magic {self.magic!r}")
+        if len(self.payload) > 0xFFFF:
+            raise CodecError("ARP extension payload too large")
+
+    def encode(self) -> bytes:
+        return self.magic + struct.pack("!H", len(self.payload)) + self.payload
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An Ethernet/IPv4 ARP request or reply.
+
+    ``sha``/``spa`` are the sender hardware/protocol addresses, ``tha``/
+    ``tpa`` the target ones — the same abbreviations RFC 826 uses.
+    """
+
+    op: int
+    sha: MacAddress
+    spa: Ipv4Address
+    tha: MacAddress
+    tpa: Ipv4Address
+    extension: Optional[ArpExtension] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in (ArpOp.REQUEST, ArpOp.REPLY):
+            raise CodecError(f"unsupported ARP op {self.op}")
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        body = struct.pack(
+            "!HHBBH6s4s6s4s",
+            _HTYPE_ETHERNET,
+            _PTYPE_IPV4,
+            6,
+            4,
+            self.op,
+            self.sha.packed,
+            self.spa.packed,
+            self.tha.packed,
+            self.tpa.packed,
+        )
+        if self.extension is not None:
+            body += self.extension.encode()
+        return body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ArpPacket":
+        reader = Reader(data, context="arp")
+        htype = reader.u16()
+        ptype = reader.u16()
+        hlen = reader.u8()
+        plen = reader.u8()
+        if htype != _HTYPE_ETHERNET or ptype != _PTYPE_IPV4:
+            raise CodecError(
+                f"unsupported ARP htype/ptype {htype}/0x{ptype:04x}"
+            )
+        if hlen != 6 or plen != 4:
+            raise CodecError(f"unsupported ARP address lengths {hlen}/{plen}")
+        op = reader.u16()
+        if op not in (ArpOp.REQUEST, ArpOp.REPLY):
+            raise CodecError(f"unsupported ARP op {op}")
+        sha = MacAddress(reader.take(6))
+        spa = Ipv4Address(reader.take(4))
+        tha = MacAddress(reader.take(6))
+        tpa = Ipv4Address(reader.take(4))
+        extension = cls._decode_extension(reader)
+        return cls(op=op, sha=sha, spa=spa, tha=tha, tpa=tpa, extension=extension)
+
+    @staticmethod
+    def _decode_extension(reader: Reader) -> Optional[ArpExtension]:
+        if reader.remaining < 6:
+            return None
+        magic = reader.peek(4)
+        if magic not in _KNOWN_MAGICS:
+            return None  # minimum-frame padding or garbage; classic ARP
+        reader.take(4)
+        length = reader.u16()
+        payload = reader.take(length)
+        return ArpExtension(magic=bytes(magic), payload=payload)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    @property
+    def is_request(self) -> bool:
+        return self.op == ArpOp.REQUEST
+
+    @property
+    def is_reply(self) -> bool:
+        return self.op == ArpOp.REPLY
+
+    @property
+    def is_gratuitous(self) -> bool:
+        """Gratuitous ARP: the sender announces its own binding.
+
+        Covers both gratuitous requests and gratuitous replies (spa == tpa).
+        """
+        return self.spa == self.tpa and not self.spa.is_unspecified
+
+    @property
+    def is_probe(self) -> bool:
+        """An RFC 5227 address probe (spa == 0.0.0.0 request)."""
+        return self.is_request and self.spa.is_unspecified
+
+    def binding(self) -> tuple[Ipv4Address, MacAddress]:
+        """The ``(IP, MAC)`` claim this packet asserts about its sender."""
+        return (self.spa, self.sha)
+
+    def summary(self) -> str:
+        kind = ArpOp.name(self.op)
+        if self.is_gratuitous:
+            kind = f"gratuitous-{kind}"
+        base = f"arp {kind} {self.spa} is-at {self.sha} (asking {self.tpa})"
+        if self.extension is not None:
+            base += f" +{self.extension.magic.decode()}"
+        return base
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def request(
+        cls,
+        sha: MacAddress,
+        spa: Ipv4Address,
+        tpa: Ipv4Address,
+        extension: Optional[ArpExtension] = None,
+    ) -> "ArpPacket":
+        """A who-has request for ``tpa`` (tha is zero, per convention)."""
+        from repro.net.addresses import ZERO_MAC
+
+        return cls(
+            op=ArpOp.REQUEST, sha=sha, spa=spa, tha=ZERO_MAC, tpa=tpa,
+            extension=extension,
+        )
+
+    @classmethod
+    def reply(
+        cls,
+        sha: MacAddress,
+        spa: Ipv4Address,
+        tha: MacAddress,
+        tpa: Ipv4Address,
+        extension: Optional[ArpExtension] = None,
+    ) -> "ArpPacket":
+        """An is-at reply asserting that ``spa`` is at ``sha``."""
+        return cls(
+            op=ArpOp.REPLY, sha=sha, spa=spa, tha=tha, tpa=tpa,
+            extension=extension,
+        )
+
+    @classmethod
+    def gratuitous(
+        cls,
+        sha: MacAddress,
+        spa: Ipv4Address,
+        as_reply: bool = True,
+        extension: Optional[ArpExtension] = None,
+    ) -> "ArpPacket":
+        """A gratuitous announcement of ``spa`` at ``sha``."""
+        from repro.net.addresses import BROADCAST_MAC, ZERO_MAC
+
+        if as_reply:
+            return cls(
+                op=ArpOp.REPLY, sha=sha, spa=spa, tha=BROADCAST_MAC, tpa=spa,
+                extension=extension,
+            )
+        return cls(
+            op=ArpOp.REQUEST, sha=sha, spa=spa, tha=ZERO_MAC, tpa=spa,
+            extension=extension,
+        )

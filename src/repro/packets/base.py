@@ -1,0 +1,93 @@
+"""Shared codec machinery: checksums, buffer readers, packet protocol.
+
+All codecs in :mod:`repro.packets` follow one convention: an ``encode()``
+method producing the exact wire bytes, and a ``decode(data)`` classmethod
+that parses them back, raising :class:`repro.errors.CodecError` subclasses
+on malformed input.  ``decode(encode())`` round-trips for every packet —
+the property-based test suite enforces this.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Protocol, runtime_checkable
+
+from repro.errors import TruncatedPacketError
+
+__all__ = ["Wire", "internet_checksum", "Reader"]
+
+
+@runtime_checkable
+class Wire(Protocol):
+    """Anything that encodes itself to wire bytes."""
+
+    def encode(self) -> bytes:  # pragma: no cover - protocol definition
+        ...
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over ``data``.
+
+    Odd-length buffers are zero-padded on the right, per the RFC.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+class Reader:
+    """A bounds-checked cursor over a byte buffer.
+
+    Raises :class:`TruncatedPacketError` instead of silently returning
+    short slices, which is how decode bugs were historically masked.
+    """
+
+    __slots__ = ("_data", "_pos", "_context")
+
+    def __init__(self, data: bytes, context: str = "packet") -> None:
+        self._data = data
+        self._pos = 0
+        self._context = context
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def take(self, count: int) -> bytes:
+        """Consume exactly ``count`` bytes."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.remaining < count:
+            raise TruncatedPacketError(
+                f"{self._context}: needed {count} bytes at offset {self._pos}, "
+                f"only {self.remaining} remain"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("!H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("!I", self.take(4))[0]
+
+    def rest(self) -> bytes:
+        """Consume and return everything left."""
+        chunk = self._data[self._pos :]
+        self._pos = len(self._data)
+        return chunk
+
+    def peek(self, count: int) -> bytes:
+        """Look ahead without consuming; may return fewer bytes at the end."""
+        return self._data[self._pos : self._pos + count]

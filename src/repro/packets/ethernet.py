@@ -1,0 +1,102 @@
+"""Ethernet II framing.
+
+Frames are what actually travel over simulated links: every higher-layer
+packet is encoded into the payload of an :class:`EthernetFrame`, and every
+device (switch, NIC, detector) works from the decoded frame exactly as a
+real implementation would work from wire bytes.
+
+The 8-byte preamble and the 4-byte FCS are not carried — like libpcap, the
+capture starts at the destination MAC — but minimum-frame padding *is*
+applied (payloads are padded to 46 bytes), because real ARP packets arrive
+padded and detectors must cope.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+from repro.net.addresses import MacAddress
+from repro.packets.base import Reader
+
+__all__ = ["EtherType", "EthernetFrame", "MIN_PAYLOAD", "MAX_PAYLOAD"]
+
+MIN_PAYLOAD = 46
+MAX_PAYLOAD = 1500
+
+
+class EtherType:
+    """EtherType registry constants used by the simulation."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    #: Experimental ethertype used by the TARP ticket-distribution channel.
+    EXPERIMENTAL = 0x88B5
+
+    _NAMES = {0x0800: "IPv4", 0x0806: "ARP", 0x8100: "VLAN", 0x88B5: "EXP"}
+
+    @classmethod
+    def name(cls, value: int) -> str:
+        return cls._NAMES.get(value, f"0x{value:04x}")
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame (dst, src, ethertype, payload)."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0x0600 <= self.ethertype <= 0xFFFF:
+            raise CodecError(
+                f"ethertype 0x{self.ethertype:04x} is not a valid Ethernet II type"
+            )
+        if len(self.payload) > MAX_PAYLOAD:
+            raise CodecError(
+                f"payload of {len(self.payload)} bytes exceeds Ethernet MTU"
+            )
+
+    def encode(self) -> bytes:
+        """Wire bytes, padded to the 60-byte minimum frame size (sans FCS)."""
+        payload = self.payload
+        if len(payload) < MIN_PAYLOAD:
+            payload = payload + b"\x00" * (MIN_PAYLOAD - len(payload))
+        return (
+            self.dst.packed
+            + self.src.packed
+            + struct.pack("!H", self.ethertype)
+            + payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EthernetFrame":
+        reader = Reader(data, context="ethernet")
+        dst = MacAddress(reader.take(6))
+        src = MacAddress(reader.take(6))
+        ethertype = reader.u16()
+        if ethertype < 0x0600:
+            raise CodecError(
+                "802.3 length field encountered; this simulation speaks Ethernet II"
+            )
+        return cls(dst=dst, src=src, ethertype=ethertype, payload=reader.rest())
+
+    @property
+    def wire_length(self) -> int:
+        """Frame size on the wire (header + padded payload)."""
+        return 14 + max(len(self.payload), MIN_PAYLOAD)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst.is_broadcast
+
+    def summary(self) -> str:
+        """One-line human-readable description (used in traces/logs)."""
+        return (
+            f"{self.src} -> {self.dst} {EtherType.name(self.ethertype)} "
+            f"len={self.wire_length}"
+        )

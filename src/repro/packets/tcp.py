@@ -1,0 +1,161 @@
+"""TCP segments (header-accurate, connection logic simplified).
+
+The evaluation needs TCP for two things: realistic victim traffic for the
+MITM to intercept, and the SYN-probe used by some active detectors (a TCP
+SYN to a claimed binding elicits SYN-ACK or RST from the true IP owner).
+Segments carry real headers with checksums; full congestion/retransmission
+machinery is intentionally out of scope.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChecksumError, CodecError
+from repro.net.addresses import Ipv4Address
+from repro.packets.base import Reader, internet_checksum
+
+__all__ = ["TcpFlags", "TcpSegment"]
+
+
+class TcpFlags:
+    """TCP flag bits."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+    @classmethod
+    def describe(cls, flags: int) -> str:
+        names = []
+        for bit, name in (
+            (cls.SYN, "SYN"),
+            (cls.ACK, "ACK"),
+            (cls.FIN, "FIN"),
+            (cls.RST, "RST"),
+            (cls.PSH, "PSH"),
+            (cls.URG, "URG"),
+        ):
+            if flags & bit:
+                names.append(name)
+        return "|".join(names) if names else "none"
+
+
+def _pseudo_header(src: Ipv4Address, dst: Ipv4Address, length: int) -> bytes:
+    return src.packed + dst.packed + struct.pack("!BBH", 0, 6, length)
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """A TCP segment with a 20-byte header (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    payload: bytes = b""
+    window: int = 0xFFFF
+
+    def __post_init__(self) -> None:
+        for label, port in (("src", self.src_port), ("dst", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise CodecError(f"tcp: {label} port out of range: {port}")
+        if not 0 <= self.seq <= 0xFFFFFFFF or not 0 <= self.ack <= 0xFFFFFFFF:
+            raise CodecError("tcp: sequence/ack out of range")
+        if not 0 <= self.flags <= 0xFF:
+            raise CodecError("tcp: flags out of range")
+        if not 0 <= self.window <= 0xFFFF:
+            raise CodecError("tcp: window out of range")
+
+    @property
+    def length(self) -> int:
+        return 20 + len(self.payload)
+
+    def _header(self, checksum: int) -> bytes:
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            5 << 4,  # data offset 5 words
+            self.flags,
+            self.window,
+            checksum,
+            0,  # urgent pointer
+        )
+
+    def encode(
+        self,
+        src_ip: Optional[Ipv4Address] = None,
+        dst_ip: Optional[Ipv4Address] = None,
+    ) -> bytes:
+        if src_ip is None or dst_ip is None:
+            return self._header(0) + self.payload
+        pseudo = _pseudo_header(src_ip, dst_ip, self.length)
+        checksum = internet_checksum(pseudo + self._header(0) + self.payload)
+        return self._header(checksum) + self.payload
+
+    @classmethod
+    def decode(
+        cls,
+        data: bytes,
+        src_ip: Optional[Ipv4Address] = None,
+        dst_ip: Optional[Ipv4Address] = None,
+    ) -> "TcpSegment":
+        reader = Reader(data, context="tcp")
+        src_port = reader.u16()
+        dst_port = reader.u16()
+        seq = reader.u32()
+        ack = reader.u32()
+        offset_byte = reader.u8()
+        flags = reader.u8()
+        window = reader.u16()
+        checksum = reader.u16()
+        reader.u16()  # urgent pointer
+        offset = offset_byte >> 4
+        if offset < 5:
+            raise CodecError(f"tcp: data offset {offset} below minimum")
+        if offset > 5:
+            reader.take((offset - 5) * 4)  # skip options
+        payload = reader.rest()
+        if checksum != 0 and src_ip is not None and dst_ip is not None:
+            pseudo = _pseudo_header(src_ip, dst_ip, len(data))
+            if internet_checksum(pseudo + data) != 0:
+                raise ChecksumError("tcp: checksum mismatch")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            payload=payload,
+            window=window,
+        )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def syn(cls, src_port: int, dst_port: int, seq: int) -> "TcpSegment":
+        return cls(src_port, dst_port, seq, 0, TcpFlags.SYN)
+
+    @classmethod
+    def syn_ack(cls, src_port: int, dst_port: int, seq: int, ack: int) -> "TcpSegment":
+        return cls(src_port, dst_port, seq, ack, TcpFlags.SYN | TcpFlags.ACK)
+
+    @classmethod
+    def rst(cls, src_port: int, dst_port: int, seq: int) -> "TcpSegment":
+        return cls(src_port, dst_port, seq, 0, TcpFlags.RST)
+
+    def summary(self) -> str:
+        return (
+            f"tcp {self.src_port} -> {self.dst_port} "
+            f"[{TcpFlags.describe(self.flags)}] seq={self.seq} len={len(self.payload)}"
+        )

@@ -1,0 +1,81 @@
+"""UDP datagrams (RFC 768).
+
+The checksum is computed over the usual IPv4 pseudo-header when the source
+and destination IPs are supplied; encoding without them emits a zero
+checksum (legal for IPv4 UDP), which is also what the DHCP path uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChecksumError, CodecError
+from repro.net.addresses import Ipv4Address
+from repro.packets.base import Reader, internet_checksum
+
+__all__ = ["UdpDatagram"]
+
+
+def _pseudo_header(src: Ipv4Address, dst: Ipv4Address, length: int) -> bytes:
+    return src.packed + dst.packed + struct.pack("!BBH", 0, 17, length)
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram: source port, destination port, payload."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        for label, port in (("src", self.src_port), ("dst", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise CodecError(f"udp: {label} port out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        return 8 + len(self.payload)
+
+    def encode(
+        self,
+        src_ip: Optional[Ipv4Address] = None,
+        dst_ip: Optional[Ipv4Address] = None,
+    ) -> bytes:
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+        if src_ip is None or dst_ip is None:
+            return header + self.payload
+        pseudo = _pseudo_header(src_ip, dst_ip, self.length)
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:  # RFC 768: transmitted zero means "no checksum"
+            checksum = 0xFFFF
+        header = struct.pack(
+            "!HHHH", self.src_port, self.dst_port, self.length, checksum
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(
+        cls,
+        data: bytes,
+        src_ip: Optional[Ipv4Address] = None,
+        dst_ip: Optional[Ipv4Address] = None,
+    ) -> "UdpDatagram":
+        reader = Reader(data, context="udp")
+        src_port = reader.u16()
+        dst_port = reader.u16()
+        length = reader.u16()
+        checksum = reader.u16()
+        if length < 8:
+            raise CodecError(f"udp: length field {length} below header size")
+        payload = reader.take(min(length - 8, reader.remaining))
+        if checksum != 0 and src_ip is not None and dst_ip is not None:
+            pseudo = _pseudo_header(src_ip, dst_ip, length)
+            if internet_checksum(pseudo + data[: length]) != 0:
+                raise ChecksumError("udp: checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port, payload=payload)
+
+    def summary(self) -> str:
+        return f"udp {self.src_port} -> {self.dst_port} len={self.length}"

@@ -1,0 +1,84 @@
+"""IEEE 802.1Q VLAN tagging.
+
+A tagged Ethernet frame carries ethertype ``0x8100`` followed by the
+16-bit TCI (PCP/DEI/VID) and then the original ethertype + payload.
+VLAN segmentation is one of the blunt-but-effective ARP mitigations the
+analysis mentions: ARP is a broadcast protocol, so shrinking the
+broadcast domain shrinks the blast radius of a poisoner.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+from repro.packets.ethernet import EtherType, EthernetFrame
+
+__all__ = ["VlanTag", "tag_frame", "untag_frame", "vlan_of"]
+
+MAX_VID = 4094
+
+
+@dataclass(frozen=True)
+class VlanTag:
+    """The 802.1Q tag control information."""
+
+    vid: int
+    priority: int = 0
+    dei: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.vid <= MAX_VID:
+            raise CodecError(f"VLAN id out of range: {self.vid}")
+        if not 0 <= self.priority <= 7:
+            raise CodecError(f"VLAN priority out of range: {self.priority}")
+
+    def encode(self) -> bytes:
+        tci = (self.priority << 13) | (int(self.dei) << 12) | self.vid
+        return struct.pack("!H", tci)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "VlanTag":
+        if len(data) < 2:
+            raise CodecError("802.1Q: TCI truncated")
+        (tci,) = struct.unpack("!H", data[:2])
+        vid = tci & 0x0FFF
+        if vid == 0:
+            raise CodecError("802.1Q: priority-tagged frames (VID 0) unsupported")
+        return cls(vid=vid, priority=tci >> 13, dei=bool(tci >> 12 & 1))
+
+
+def tag_frame(frame: EthernetFrame, vid: int, priority: int = 0) -> EthernetFrame:
+    """Wrap ``frame`` in an 802.1Q tag (refuses double-tagging)."""
+    if frame.ethertype == EtherType.VLAN:
+        raise CodecError("frame is already 802.1Q-tagged")
+    tag = VlanTag(vid=vid, priority=priority)
+    payload = tag.encode() + struct.pack("!H", frame.ethertype) + frame.payload
+    return EthernetFrame(
+        dst=frame.dst, src=frame.src, ethertype=EtherType.VLAN, payload=payload
+    )
+
+
+def untag_frame(frame: EthernetFrame) -> tuple[VlanTag, EthernetFrame]:
+    """Strip the 802.1Q tag; returns ``(tag, inner frame)``."""
+    if frame.ethertype != EtherType.VLAN:
+        raise CodecError("frame is not 802.1Q-tagged")
+    if len(frame.payload) < 4:
+        raise CodecError("802.1Q: header truncated")
+    tag = VlanTag.decode(frame.payload[:2])
+    (inner_type,) = struct.unpack("!H", frame.payload[2:4])
+    inner = EthernetFrame(
+        dst=frame.dst,
+        src=frame.src,
+        ethertype=inner_type,
+        payload=frame.payload[4:],
+    )
+    return tag, inner
+
+
+def vlan_of(frame: EthernetFrame) -> int | None:
+    """The frame's VLAN id, or ``None`` when untagged."""
+    if frame.ethertype != EtherType.VLAN:
+        return None
+    return VlanTag.decode(frame.payload[:2]).vid

@@ -1,0 +1,55 @@
+"""The twelve analyzed defense schemes and their common framework."""
+
+from repro.schemes.active_probe import ActiveProbe
+from repro.schemes.anticap import Anticap
+from repro.schemes.antidote import Antidote
+from repro.schemes.arpwatch import ArpWatch
+from repro.schemes.base import (
+    ATTACK_VARIANTS,
+    Alert,
+    Coverage,
+    Scheme,
+    SchemeProfile,
+    Severity,
+)
+from repro.schemes.dai import DynamicArpInspection, SnoopedBinding
+from repro.schemes.darpi import DarpiHostInspection
+from repro.schemes.hybrid import HybridDetector
+from repro.schemes.middleware import HostMiddleware
+from repro.schemes.monitor_base import BindingDatabase, MonitorScheme, ObservedStation
+from repro.schemes.port_security import PortSecurity
+from repro.schemes.registry import ALL_SCHEMES, SCHEME_FACTORIES, all_profiles, make_scheme
+from repro.schemes.sarp import SecureArp
+from repro.schemes.snort import SnortArpspoof
+from repro.schemes.static_entries import StaticArpEntries
+from repro.schemes.tarp import TicketArp
+
+__all__ = [
+    "Alert",
+    "Severity",
+    "Coverage",
+    "Scheme",
+    "SchemeProfile",
+    "ATTACK_VARIANTS",
+    "MonitorScheme",
+    "BindingDatabase",
+    "ObservedStation",
+    "StaticArpEntries",
+    "Anticap",
+    "Antidote",
+    "SecureArp",
+    "TicketArp",
+    "PortSecurity",
+    "DynamicArpInspection",
+    "DarpiHostInspection",
+    "SnoopedBinding",
+    "ArpWatch",
+    "SnortArpspoof",
+    "ActiveProbe",
+    "HostMiddleware",
+    "HybridDetector",
+    "ALL_SCHEMES",
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "all_profiles",
+]

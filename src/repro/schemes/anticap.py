@@ -1,0 +1,87 @@
+"""Scheme 2 — Anticap (kernel patch).
+
+Anticap changes one rule in the stack: an ARP message that would *change*
+an existing cache entry to a different MAC is dropped.  Cheap and quite
+effective against rebinding, with two structural blind spots the analysis
+highlights: (a) an attacker who gets there *first* (before the legitimate
+binding exists, or right after expiry) is accepted like anyone else, and
+(b) it violates the ARP RFC for legitimate rebinding (NIC swap, failover)
+— the entry must age out before the new NIC can communicate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.l2.topology import Lan
+from repro.packets.arp import ArpPacket
+from repro.packets.ethernet import EthernetFrame
+from repro.schemes.base import Coverage, Scheme, SchemeProfile, Severity
+from repro.stack.host import Host
+
+__all__ = ["Anticap"]
+
+
+class Anticap(Scheme):
+    """Refuse cache updates that change an existing entry's MAC."""
+
+    profile = SchemeProfile(
+        key="anticap",
+        display_name="Anticap kernel patch",
+        kind="prevention",
+        placement="host",
+        requires_infra_change=False,
+        requires_host_change=True,
+        requires_crypto=False,
+        supports_dhcp_networks=True,
+        cost="low",
+        claimed_coverage={
+            "reply": Coverage.PREVENTS,
+            "request": Coverage.PREVENTS,
+            "gratuitous": Coverage.PREVENTS,
+            "reactive": Coverage.PARTIAL,  # first-claim race still wins
+        },
+        limitations=(
+            "blind before the first legitimate binding (cold cache)",
+            "attacker can wait for entry expiry and claim first",
+            "breaks legitimate rebinding until the stale entry ages out",
+            "must be deployed on every host (kernel patch)",
+        ),
+        reference="Anticap patch (Barnaba), analyzed alongside Antidote",
+    )
+
+    def __init__(self, log_rejections: bool = True) -> None:
+        super().__init__()
+        self.log_rejections = log_rejections
+        self.rejections = 0
+
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        for host in protected:
+            remove = host.add_arp_guard(self._guard)
+            self._on_teardown(remove)
+
+    def _guard(
+        self, host: Host, arp: ArpPacket, frame: EthernetFrame
+    ) -> Optional[bool]:
+        if arp.spa.is_unspecified:
+            return None
+        entry = host.arp_cache.entry(arp.spa)
+        if entry is None:
+            return None  # no existing binding: default policy applies
+        if entry.mac == arp.sha:
+            return None  # consistent refresh
+        # A change attempt: Anticap drops the packet outright.
+        self.rejections += 1
+        if self.log_rejections:
+            # kern.info noise, not a page: Anticap is prevention, and its
+            # refusals fire on legitimate rebinding too.
+            self.raise_alert(
+                time=host.sim.now,
+                severity=Severity.INFO,
+                kind="rebind-refused",
+                ip=arp.spa,
+                mac=arp.sha,
+                message=f"kept {entry.mac} on {host.name}",
+                dedup_window=60.0,
+            )
+        return False

@@ -1,0 +1,159 @@
+"""Scheme 3 — Antidote (kernel patch with verification probe).
+
+Antidote improves on Anticap's "never rebind" rule: when a conflicting
+claim arrives, the kernel *asks the previous MAC whether it is still
+alive* (a unicast ARP request framed straight at the old NIC).  If the
+old station answers, the new claim was an attack — keep the old binding
+and blacklist the claimant.  If nothing answers, the rebinding is
+probably legitimate (NIC swap) and is accepted.  The analysis points out
+the residual weakness: an attacker who can first knock the victim
+offline (or who claims during the cold-cache window) still wins, and the
+blacklist itself can be abused to DoS a legitimate station by spoofing
+claims *from* it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.arp import ArpPacket
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.schemes.base import Coverage, Scheme, SchemeProfile, Severity
+from repro.stack.arp_cache import BindingSource
+from repro.stack.host import Host
+
+__all__ = ["Antidote"]
+
+
+@dataclass
+class _PendingVerification:
+    old_mac: MacAddress
+    new_mac: MacAddress
+    new_is_request: bool
+    answered: bool = False
+
+
+class Antidote(Scheme):
+    """Probe-the-previous-owner rebinding verification."""
+
+    profile = SchemeProfile(
+        key="antidote",
+        display_name="Antidote kernel patch",
+        kind="prevention",
+        placement="host",
+        requires_infra_change=False,
+        requires_host_change=True,
+        requires_crypto=False,
+        supports_dhcp_networks=True,
+        cost="low",
+        claimed_coverage={
+            "reply": Coverage.PREVENTS,
+            "request": Coverage.PREVENTS,
+            "gratuitous": Coverage.PREVENTS,
+            "reactive": Coverage.PARTIAL,
+        },
+        limitations=(
+            "cold-cache window: first claim is trusted",
+            "attacker that silences the victim first still wins",
+            "blacklist can be weaponized against legitimate MACs",
+            "adds a probe round-trip to every legitimate rebinding",
+        ),
+        reference="Antidote patch (Teterin), analyzed alongside Anticap",
+    )
+
+    def __init__(self, probe_timeout: float = 0.5) -> None:
+        super().__init__()
+        self.probe_timeout = probe_timeout
+        self.probes_sent = 0
+        self.attacks_blocked = 0
+        self.rebinds_allowed = 0
+        self._pending: Dict[Tuple[str, Ipv4Address], _PendingVerification] = {}
+        self._blacklists: Dict[str, Set[MacAddress]] = {}
+
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        for host in protected:
+            self._blacklists[host.name] = set()
+            remove = host.add_arp_guard(self._make_guard())
+            self._on_teardown(remove)
+
+    def _make_guard(self):
+        def guard(
+            host: Host, arp: ArpPacket, frame: EthernetFrame
+        ) -> Optional[bool]:
+            return self._guard(host, arp, frame)
+
+        return guard
+
+    def _guard(
+        self, host: Host, arp: ArpPacket, frame: EthernetFrame
+    ) -> Optional[bool]:
+        if arp.spa.is_unspecified:
+            return None
+        if arp.sha in self._blacklists.get(host.name, set()):
+            return False  # claims from blacklisted MACs are dead on arrival
+        key = (host.name, arp.spa)
+        pending = self._pending.get(key)
+        if pending is not None:
+            if arp.sha == pending.old_mac:
+                # The previous owner spoke up during verification: attack.
+                pending.answered = True
+            return False if arp.sha == pending.new_mac else None
+        entry = host.arp_cache.entry(arp.spa)
+        if entry is None or entry.mac == arp.sha:
+            return None
+        # Conflicting claim: hold it, probe the old owner.
+        self._begin_verification(host, arp)
+        return False
+
+    def _begin_verification(self, host: Host, arp: ArpPacket) -> None:
+        entry = host.arp_cache.entry(arp.spa)
+        assert entry is not None
+        key = (host.name, arp.spa)
+        self._pending[key] = _PendingVerification(
+            old_mac=entry.mac, new_mac=arp.sha, new_is_request=arp.is_request
+        )
+        # Unicast ARP request straight at the previously known MAC.  Its
+        # reply will be a *solicited-looking* packet from old_mac, which
+        # the guard above notices via ``pending.answered``.
+        probe = ArpPacket.request(
+            sha=host.mac,
+            spa=host.ip if host.ip is not None else Ipv4Address(0),
+            tpa=arp.spa,
+        )
+        host.send_arp(probe, dst_mac=entry.mac)
+        self.probes_sent += 1
+        self.messages_sent += 1
+        host.sim.schedule(
+            self.probe_timeout,
+            lambda: self._conclude(host, arp.spa),
+            name="antidote.verify",
+        )
+
+    def _conclude(self, host: Host, ip: Ipv4Address) -> None:
+        key = (host.name, ip)
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return
+        if pending.answered:
+            # Old owner is alive: the new claim was hostile.
+            self.attacks_blocked += 1
+            self._blacklists[host.name].add(pending.new_mac)
+            self.raise_alert(
+                time=host.sim.now,
+                severity=Severity.CRITICAL,
+                kind="poisoning-blocked",
+                ip=ip,
+                mac=pending.new_mac,
+                message=f"{host.name}: previous owner {pending.old_mac} still alive",
+                dedup_window=60.0,
+            )
+        else:
+            # Old owner is gone: accept the rebinding retroactively.
+            self.rebinds_allowed += 1
+            host.accept_arp_binding(ip, pending.new_mac, BindingSource.REQUEST)
+
+    def state_size(self) -> int:
+        return sum(len(bl) for bl in self._blacklists.values()) + len(self._pending)

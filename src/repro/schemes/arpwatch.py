@@ -1,0 +1,98 @@
+"""Scheme 8 — arpwatch-style passive monitoring.
+
+The venerable open-source approach: keep a database of every ``(IP,
+MAC)`` pairing ever seen on the wire, and mail the administrator when a
+pairing changes ("changed ethernet address") or oscillates ("flip
+flop").  Zero protocol changes, zero prevention — and, as the analysis
+quantifies in Table 3, a steady diet of false alarms on any network with
+DHCP churn, plus a cold-start blind spot: a poisoning that begins before
+arpwatch does looks like the baseline truth.
+"""
+
+from __future__ import annotations
+
+from repro.l2.topology import Lan
+from repro.net.oui import vendor_for
+from repro.packets.arp import ArpPacket
+from repro.packets.ethernet import EthernetFrame
+from repro.schemes.base import Coverage, SchemeProfile, Severity
+from repro.schemes.monitor_base import BindingDatabase, MonitorScheme
+
+__all__ = ["ArpWatch"]
+
+
+class ArpWatch(MonitorScheme):
+    """Passive IP/MAC pairing database with change alerts."""
+
+    profile = SchemeProfile(
+        key="arpwatch",
+        display_name="arpwatch (passive monitoring)",
+        kind="detection",
+        placement="monitor",
+        requires_infra_change=False,
+        requires_host_change=False,
+        requires_crypto=False,
+        supports_dhcp_networks=True,
+        cost="free",
+        claimed_coverage={
+            "reply": Coverage.DETECTS,
+            "request": Coverage.DETECTS,
+            "gratuitous": Coverage.DETECTS,
+            "reactive": Coverage.DETECTS,
+        },
+        limitations=(
+            "detection only — the poisoning still lands before the mail arrives",
+            "cold start: attacks preceding the monitor are invisible",
+            "DHCP reassignment and NIC swaps raise false alarms",
+            "needs a span/mirror port or hub visibility",
+        ),
+        reference="LBNL arpwatch (Leres)",
+    )
+
+    def __init__(self, report_new_stations: bool = True) -> None:
+        super().__init__()
+        self.db = BindingDatabase()
+        self.report_new_stations = report_new_stations
+        self.changes_seen = 0
+        self.flip_flops_seen = 0
+
+    def on_arp(self, arp: ArpPacket, frame: EthernetFrame, now: float) -> None:
+        if arp.spa.is_unspecified:
+            return
+        event, previous = self.db.observe(arp.spa, arp.sha, now)
+        if event == "new":
+            if self.report_new_stations:
+                vendor = vendor_for(arp.sha) or "unknown vendor"
+                self.raise_alert(
+                    time=now,
+                    severity=Severity.INFO,
+                    kind="new-station",
+                    ip=arp.spa,
+                    mac=arp.sha,
+                    message=f"({vendor})",
+                )
+        elif event == "changed":
+            self.changes_seen += 1
+            self.raise_alert(
+                time=now,
+                severity=Severity.WARNING,
+                kind="changed-ethernet-address",
+                ip=arp.spa,
+                mac=arp.sha,
+                message=f"was {previous}",
+                dedup_window=60.0,
+            )
+        elif event == "flip-flop":
+            self.flip_flops_seen += 1
+            self.raise_alert(
+                time=now,
+                severity=Severity.WARNING,
+                kind="flip-flop",
+                ip=arp.spa,
+                mac=arp.sha,
+                message=f"was {previous}",
+                dedup_window=60.0,
+            )
+
+    def state_size(self) -> int:
+        return len(self.db)

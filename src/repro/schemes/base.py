@@ -1,0 +1,208 @@
+"""Scheme framework: profiles, alerts, and the installable-scheme contract.
+
+Every surveyed defense implements :class:`Scheme`.  A scheme is *installed*
+into a LAN (attaching to hosts, the switch, or the monitor station,
+according to its placement), raises :class:`Alert` objects when it detects
+something, and reports its state/overhead footprint for the resource
+table.  The qualitative comparison matrix (Table 1) is generated from the
+:class:`SchemeProfile` metadata rather than hand-written prose, so the
+table and the code cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SchemeError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.stack.host import Host
+
+__all__ = [
+    "Alert",
+    "Severity",
+    "Coverage",
+    "SchemeProfile",
+    "Scheme",
+    "ATTACK_VARIANTS",
+]
+
+#: The attack variants the effectiveness matrix (Table 2) distinguishes.
+ATTACK_VARIANTS = (
+    "reply",        # unsolicited forged replies
+    "request",      # forged requests
+    "gratuitous",   # broadcast gratuitous announcements
+    "reactive",     # race against solicited replies
+)
+
+
+class Severity:
+    """Alert severities."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+class Coverage:
+    """Per-attack coverage levels a scheme can claim/achieve."""
+
+    PREVENTS = "prevents"
+    DETECTS = "detects"
+    PARTIAL = "partial"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detection event raised by a scheme."""
+
+    time: float
+    scheme: str
+    severity: str
+    kind: str
+    ip: Optional[Ipv4Address] = None
+    mac: Optional[MacAddress] = None
+    message: str = ""
+
+    def __str__(self) -> str:
+        subject = f" {self.ip}" if self.ip is not None else ""
+        suspect = f" at {self.mac}" if self.mac is not None else ""
+        return (
+            f"[{self.time:10.3f}] {self.scheme} {self.severity.upper()} "
+            f"{self.kind}{subject}{suspect} {self.message}".rstrip()
+        )
+
+
+@dataclass(frozen=True)
+class SchemeProfile:
+    """Qualitative metadata — the raw material of the comparison matrix."""
+
+    key: str
+    display_name: str
+    kind: str  # "prevention" | "detection" | "hybrid"
+    placement: str  # "host" | "switch" | "monitor" | "host+server"
+    requires_infra_change: bool
+    requires_host_change: bool
+    requires_crypto: bool
+    supports_dhcp_networks: bool
+    cost: str  # "free" | "low" | "medium" | "high"
+    claimed_coverage: Dict[str, str] = field(default_factory=dict)
+    limitations: tuple[str, ...] = ()
+    reference: str = ""
+
+    def coverage_for(self, variant: str) -> str:
+        return self.claimed_coverage.get(variant, Coverage.NONE)
+
+
+class Scheme(ABC):
+    """An installable defense.
+
+    Lifecycle: construct → :meth:`install` into a LAN → run traffic →
+    inspect :attr:`alerts` / footprint → :meth:`uninstall`.
+    """
+
+    profile: SchemeProfile
+
+    def __init__(self) -> None:
+        self.alerts: List[Alert] = []
+        self.installed = False
+        self._lan: Optional[Lan] = None
+        self._teardowns: List = []
+        #: Extra frames this scheme itself put on the wire (probes,
+        #: key-server queries...), for the overhead figures.
+        self.messages_sent = 0
+        self._dedup_seen: Dict[tuple, float] = {}
+        #: Alerts suppressed by dedup (still counted, like syslog's
+        #: "last message repeated N times").
+        self.suppressed_alerts = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def install(self, lan: Lan, protected: Optional[List[Host]] = None) -> None:
+        """Attach the scheme to ``lan``.
+
+        ``protected`` restricts host-resident schemes to a subset of
+        hosts; ``None`` protects every currently addressed host (the
+        attacker is excluded by experiments, which add it afterwards or
+        pass an explicit list).
+        """
+        if self.installed:
+            raise SchemeError(f"{self.profile.key} already installed")
+        self._lan = lan
+        self._install(lan, protected if protected is not None else self._default_hosts(lan))
+        self.installed = True
+
+    def uninstall(self) -> None:
+        if not self.installed:
+            return
+        for teardown in reversed(self._teardowns):
+            teardown()
+        self._teardowns.clear()
+        self.installed = False
+        self._lan = None
+
+    @staticmethod
+    def _default_hosts(lan: Lan) -> List[Host]:
+        return [h for h in lan.hosts.values() if h.ip is not None]
+
+    @abstractmethod
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        """Scheme-specific attachment logic."""
+
+    def _on_teardown(self, callback) -> None:
+        self._teardowns.append(callback)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def raise_alert(
+        self,
+        time: float,
+        severity: str,
+        kind: str,
+        ip: Optional[Ipv4Address] = None,
+        mac: Optional[MacAddress] = None,
+        message: str = "",
+        dedup_window: float = 0.0,
+        dedup_key: Optional[tuple] = None,
+    ) -> Optional[Alert]:
+        """Record an alert.
+
+        With ``dedup_window > 0`` a repeat of the same ``(kind, ip, mac)``
+        (or of ``dedup_key`` when given) within the window is suppressed
+        (syslog-style), so re-poisoning floods page the operator once per
+        window, not once per frame.  Returns ``None`` when suppressed.
+        """
+        if dedup_window > 0:
+            key = dedup_key if dedup_key is not None else (kind, ip, mac)
+            last = self._dedup_seen.get(key)
+            if last is not None and time - last < dedup_window:
+                self.suppressed_alerts += 1
+                return None
+            self._dedup_seen[key] = time
+        alert = Alert(
+            time=time,
+            scheme=self.profile.key,
+            severity=severity,
+            kind=kind,
+            ip=ip,
+            mac=mac,
+            message=message,
+        )
+        self.alerts.append(alert)
+        return alert
+
+    def alerts_between(self, start: float, end: float) -> List[Alert]:
+        return [a for a in self.alerts if start <= a.time < end]
+
+    def state_size(self) -> int:
+        """Number of state entries the scheme maintains (Table 4)."""
+        return 0
+
+    def __repr__(self) -> str:
+        state = "installed" if self.installed else "detached"
+        return f"{type(self).__name__}({self.profile.key}, {state}, alerts={len(self.alerts)})"

@@ -1,0 +1,260 @@
+"""Scheme 7 — DHCP snooping + Dynamic ARP Inspection (DAI).
+
+The switch keeps a binding table: leases snooped from DHCP ACKs that
+arrive on the *trusted* uplink port, plus operator-configured static
+entries for fixed-address hosts.  Every ARP packet entering an untrusted
+port is checked against the table; a sender claiming a binding the table
+contradicts is dropped at the port, before any victim ever sees it.  As
+a side benefit, DHCP *server* messages from untrusted ports are dropped
+too, killing rogue DHCP servers.
+
+The analysis's caveats: it needs managed switches end to end, statically
+addressed hosts must be provisioned by hand, and hosts whose lease the
+switch never saw (snooping enabled after they bound) are blind spots
+until renewal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.errors import CodecError
+from repro.l2.device import Port
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.arp import ArpPacket
+from repro.packets.dhcp import (
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    DhcpMessage,
+    DhcpMessageType,
+)
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.udp import UdpDatagram
+from repro.schemes.base import Coverage, Scheme, SchemeProfile, Severity
+from repro.stack.host import Host
+
+__all__ = ["DynamicArpInspection", "SnoopedBinding"]
+
+
+@dataclass
+class SnoopedBinding:
+    """One entry of the DHCP-snooping / static binding table."""
+
+    ip: Ipv4Address
+    mac: MacAddress
+    expires_at: float
+    static: bool = False
+
+    def active(self, now: float) -> bool:
+        return self.static or self.expires_at > now
+
+
+class DynamicArpInspection(Scheme):
+    """Switch-ingress ARP validation against a snooped binding table."""
+
+    profile = SchemeProfile(
+        key="dai",
+        display_name="DHCP snooping + Dynamic ARP Inspection",
+        kind="prevention",
+        placement="switch",
+        requires_infra_change=True,
+        requires_host_change=False,
+        requires_crypto=False,
+        supports_dhcp_networks=True,
+        cost="medium",
+        claimed_coverage={
+            "reply": Coverage.PREVENTS,
+            "request": Coverage.PREVENTS,
+            "gratuitous": Coverage.PREVENTS,
+            "reactive": Coverage.PREVENTS,
+        },
+        limitations=(
+            "requires managed switches on every access port",
+            "static hosts need manual binding provisioning",
+            "hosts that leased before snooping started are blind spots",
+            "fails open on unmanaged/legacy switch segments",
+        ),
+        reference="Cisco DHCP snooping / Dynamic ARP Inspection",
+    )
+
+    def __init__(
+        self,
+        static_bindings: Optional[Dict[Ipv4Address, MacAddress]] = None,
+        trusted_ports: Optional[Set[int]] = None,
+        drop_unknown_senders: bool = True,
+        alert_on_drop: bool = True,
+        arp_rate_limit: Optional[float] = 15.0,
+        err_disable_on_rate: bool = True,
+    ) -> None:
+        """``static_bindings=None`` auto-provisions from the LAN's static
+        inventory at install time (the operator's asset database).
+
+        ``arp_rate_limit`` is the per-untrusted-port ARP packets/second
+        budget (Cisco's default is 15 pps); exceeding it err-disables the
+        port when ``err_disable_on_rate`` is set, else just drops.  Pass
+        ``None`` to disable rate limiting.
+        """
+        super().__init__()
+        self._configured_static = static_bindings
+        self._configured_trusted = trusted_ports
+        self.drop_unknown_senders = drop_unknown_senders
+        self.alert_on_drop = alert_on_drop
+        self.arp_rate_limit = arp_rate_limit
+        self.err_disable_on_rate = err_disable_on_rate
+        self.table: Dict[Ipv4Address, SnoopedBinding] = {}
+        self._trusted: Set[int] = set()
+        self._rate_exempt: Set[int] = set()
+        self._arp_arrivals: Dict[int, List[float]] = {}
+        self.arp_drops = 0
+        self.rogue_dhcp_drops = 0
+        self.leases_snooped = 0
+        self.rate_limited_drops = 0
+        self.ports_err_disabled = 0
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        self._sim = lan.sim
+        if self._configured_trusted is not None:
+            self._trusted = set(self._configured_trusted)
+        else:
+            self._trusted = {lan.port_of("gateway")}
+            if lan.monitor is not None:
+                self._trusted.add(lan.port_of(lan.monitor.name))
+        # Trunks to downstream (possibly unmanaged) switches stay
+        # *inspected* — DAI's value at the boundary — but are exempt from
+        # the per-access-port rate limit, which would otherwise trip on
+        # the aggregate and err-disable a whole segment.
+        self._rate_exempt: Set[int] = set(lan.trunk_ports) | set(self._trusted)
+        static = (
+            self._configured_static
+            if self._configured_static is not None
+            else lan.true_bindings()
+        )
+        for ip, mac in static.items():
+            self.table[ip] = SnoopedBinding(
+                ip=ip, mac=mac, expires_at=float("inf"), static=True
+            )
+        remove = lan.switch.add_ingress_filter(self._filter)
+        self._on_teardown(remove)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _filter(self, port: Port, frame: EthernetFrame) -> bool:
+        now = port.device.sim.now
+        if frame.ethertype == EtherType.ARP:
+            if port.index in self._trusted:
+                return True
+            if not self._within_rate(port, now):
+                return False
+            return self._inspect_arp(port, frame, now)
+        if frame.ethertype == EtherType.IPV4:
+            return self._inspect_dhcp(port, frame, now)
+        return True
+
+    def _within_rate(self, port: Port, now: float) -> bool:
+        """Per-port ARP rate limiting (one-second sliding window)."""
+        if self.arp_rate_limit is None:
+            return True
+        if port.index in self._rate_exempt:
+            return True
+        arrivals = self._arp_arrivals.setdefault(port.index, [])
+        cutoff = now - 1.0
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.pop(0)
+        arrivals.append(now)
+        if len(arrivals) <= self.arp_rate_limit:
+            return True
+        self.rate_limited_drops += 1
+        if self.alert_on_drop:
+            self.raise_alert(
+                time=now,
+                severity=Severity.WARNING,
+                kind="arp-rate-limit",
+                message=f"port {port.name} exceeded {self.arp_rate_limit:g} ARP pps",
+                dedup_window=30.0,
+                dedup_key=("arp-rate-limit", port.index),
+            )
+        if self.err_disable_on_rate and port.up:
+            port.shut()
+            self.ports_err_disabled += 1
+        return False
+
+    def _inspect_arp(self, port: Port, frame: EthernetFrame, now: float) -> bool:
+        try:
+            arp = ArpPacket.decode(frame.payload)
+        except CodecError:
+            return True  # not DAI's problem
+        if arp.spa.is_unspecified:
+            return True  # RFC 5227 probes carry no claim
+        binding = self.table.get(arp.spa)
+        if binding is not None and binding.active(now):
+            if binding.mac == arp.sha:
+                return True
+            return self._drop_arp(port, arp, now, f"table says {binding.mac}")
+        if self.drop_unknown_senders:
+            return self._drop_arp(port, arp, now, "no binding on record")
+        return True
+
+    def _drop_arp(self, port: Port, arp: ArpPacket, now: float, why: str) -> bool:
+        self.arp_drops += 1
+        if self.alert_on_drop:
+            self.raise_alert(
+                time=now,
+                severity=Severity.CRITICAL,
+                kind="dai-drop",
+                ip=arp.spa,
+                mac=arp.sha,
+                message=f"port {port.name}: {why}",
+                dedup_window=60.0,
+            )
+        return False
+
+    def _inspect_dhcp(self, port: Port, frame: EthernetFrame, now: float) -> bool:
+        try:
+            packet = Ipv4Packet.decode(frame.payload)
+            if packet.proto != IpProto.UDP:
+                return True
+            datagram = UdpDatagram.decode(packet.payload)
+        except CodecError:
+            return True
+        is_server_msg = (
+            datagram.src_port == DHCP_SERVER_PORT
+            and datagram.dst_port == DHCP_CLIENT_PORT
+        )
+        if not is_server_msg:
+            return True
+        if port.index not in self._trusted:
+            # A DHCP server speaking from an access port: rogue.
+            self.rogue_dhcp_drops += 1
+            if self.alert_on_drop:
+                self.raise_alert(
+                    time=now,
+                    severity=Severity.CRITICAL,
+                    kind="rogue-dhcp-drop",
+                    mac=frame.src,
+                    message=f"DHCP server message on untrusted port {port.name}",
+                    dedup_window=60.0,
+                )
+            return False
+        # Trusted server message: snoop ACKs into the binding table.
+        try:
+            message = DhcpMessage.decode(datagram.payload)
+        except CodecError:
+            return True
+        if message.message_type == DhcpMessageType.ACK and not message.yiaddr.is_unspecified:
+            lease = float(message.lease_time or 600)
+            self.table[message.yiaddr] = SnoopedBinding(
+                ip=message.yiaddr,
+                mac=message.chaddr,
+                expires_at=now + lease,
+            )
+            self.leases_snooped += 1
+        return True
+
+    def state_size(self) -> int:
+        return len(self.table)

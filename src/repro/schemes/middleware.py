@@ -1,0 +1,113 @@
+"""Scheme 11 — host-resident middleware checker.
+
+A userspace agent on each host that watches its *own* ARP cache (the way
+a middleware layer interposed above the stack would) and screams when a
+binding it relies on changes under it — especially the default gateway's.
+Unlike the kernel patches it blocks nothing: the analysis classifies it
+as cheap, deployable-per-host detection with the same churn-driven false
+positives as any passive observer, but with perfect placement (it sees
+exactly the cache the attack must corrupt, so nothing on the wire can
+hide from it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.l2.topology import Lan
+from repro.schemes.base import Coverage, Scheme, SchemeProfile, Severity
+from repro.stack.arp_cache import ArpCacheChange, BindingSource
+from repro.stack.host import Host
+
+__all__ = ["HostMiddleware"]
+
+#: Binding sources a middleware agent treats as higher-risk.
+_SUSPECT_SOURCES = {
+    BindingSource.UNSOLICITED_REPLY,
+    BindingSource.GRATUITOUS,
+}
+
+
+class HostMiddleware(Scheme):
+    """Per-host cache-change auditor."""
+
+    profile = SchemeProfile(
+        key="middleware",
+        display_name="Host middleware checker",
+        kind="detection",
+        placement="host",
+        requires_infra_change=False,
+        requires_host_change=True,
+        requires_crypto=False,
+        supports_dhcp_networks=True,
+        cost="free",
+        claimed_coverage={
+            "reply": Coverage.DETECTS,
+            "request": Coverage.DETECTS,
+            "gratuitous": Coverage.DETECTS,
+            "reactive": Coverage.DETECTS,
+        },
+        limitations=(
+            "detects after the cache is already poisoned",
+            "must run on every host to protect every host",
+            "churn on monitored bindings raises false alarms",
+            "an agent the attacker can kill once on the host",
+        ),
+        reference="middleware-layer detection as analyzed in the paper's survey",
+    )
+
+    def __init__(self, alert_on_suspect_source: bool = True) -> None:
+        super().__init__()
+        self.alert_on_suspect_source = alert_on_suspect_source
+        self.rebinds_seen = 0
+        self.suspect_installs = 0
+        self._watched: Dict[str, Host] = {}
+
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        for host in protected:
+            self._watched[host.name] = host
+            unsubscribe = host.arp_cache.on_change(self._make_listener(host))
+            self._on_teardown(unsubscribe)
+
+    def _make_listener(self, host: Host):
+        def listener(change: ArpCacheChange) -> None:
+            self._on_change(host, change)
+
+        return listener
+
+    def _on_change(self, host: Host, change: ArpCacheChange) -> None:
+        gateway_hit = host.gateway is not None and change.ip == host.gateway
+        if change.is_rebinding:
+            self.rebinds_seen += 1
+            severity = Severity.CRITICAL if gateway_hit else Severity.WARNING
+            self.raise_alert(
+                time=change.time,
+                severity=severity,
+                kind="cache-rebinding",
+                ip=change.ip,
+                mac=change.new_mac,
+                dedup_window=60.0,
+                message=(
+                    f"{host.name}: {change.old_mac} -> {change.new_mac} "
+                    f"via {change.source}"
+                    + (" [default gateway!]" if gateway_hit else "")
+                ),
+            )
+            return
+        if (
+            self.alert_on_suspect_source
+            and change.old_mac is None
+            and change.source in _SUSPECT_SOURCES
+        ):
+            self.suspect_installs += 1
+            self.raise_alert(
+                time=change.time,
+                severity=Severity.INFO,
+                kind="suspect-binding-source",
+                ip=change.ip,
+                mac=change.new_mac,
+                message=f"{host.name}: new entry from {change.source}",
+            )
+
+    def state_size(self) -> int:
+        return len(self._watched)

@@ -1,0 +1,148 @@
+"""Shared plumbing for monitor-resident (sniffer) detection schemes.
+
+These schemes deploy as the classic "IDS on a mirror port" station: the
+switch copies every frame to the monitor host, whose NIC runs
+promiscuously, and the scheme inspects the stream.  The base class here
+handles tapping, decoding, and the IP->MAC observation database that
+arpwatch-style detectors keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CodecError, SchemeError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.arp import ArpPacket
+from repro.packets.dhcp import (
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    DhcpMessage,
+    DhcpMessageType,
+)
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.udp import UdpDatagram
+from repro.schemes.base import Scheme
+from repro.stack.host import Host
+
+__all__ = ["MonitorScheme", "ObservedStation", "BindingDatabase"]
+
+
+@dataclass
+class ObservedStation:
+    """What a passive monitor knows about one IP address."""
+
+    ip: Ipv4Address
+    mac: MacAddress
+    first_seen: float
+    last_seen: float
+    previous_macs: List[MacAddress] = field(default_factory=list)
+
+    @property
+    def flip_flopped(self) -> bool:
+        """True when the current MAC was seen before an intermediate one."""
+        return self.mac in self.previous_macs
+
+
+class BindingDatabase:
+    """The arpwatch-style observation table: IP -> station record."""
+
+    def __init__(self) -> None:
+        self._stations: Dict[Ipv4Address, ObservedStation] = {}
+
+    def __len__(self) -> int:
+        return len(self._stations)
+
+    def __contains__(self, ip: Ipv4Address) -> bool:
+        return ip in self._stations
+
+    def get(self, ip: Ipv4Address) -> Optional[ObservedStation]:
+        return self._stations.get(ip)
+
+    def observe(
+        self, ip: Ipv4Address, mac: MacAddress, now: float
+    ) -> tuple[str, Optional[MacAddress]]:
+        """Record a sighting; returns ``(event, previous_mac)``.
+
+        ``event`` is ``"new"``, ``"refresh"``, ``"changed"`` or
+        ``"flip-flop"`` — the same distinctions arpwatch reports.
+        """
+        station = self._stations.get(ip)
+        if station is None:
+            self._stations[ip] = ObservedStation(
+                ip=ip, mac=mac, first_seen=now, last_seen=now
+            )
+            return ("new", None)
+        if station.mac == mac:
+            station.last_seen = now
+            return ("refresh", None)
+        previous = station.mac
+        station.previous_macs.append(previous)
+        station.mac = mac
+        station.last_seen = now
+        event = "flip-flop" if mac in station.previous_macs[:-1] else "changed"
+        return (event, previous)
+
+    def forget(self, ip: Ipv4Address) -> None:
+        self._stations.pop(ip, None)
+
+    def stations(self) -> List[ObservedStation]:
+        return list(self._stations.values())
+
+
+class MonitorScheme(Scheme):
+    """Base class: attaches to the LAN's mirror-port monitor station."""
+
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        if lan.monitor is None:
+            raise SchemeError(
+                f"{self.profile.key} needs a monitor station; call lan.add_monitor() first"
+            )
+        self.monitor = lan.monitor
+        self.monitor.frame_taps.append(self._tap)
+        self._on_teardown(lambda: self.monitor.frame_taps.remove(self._tap))
+        self._setup(lan)
+
+    def _setup(self, lan: Lan) -> None:
+        """Extra scheme-specific initialization (optional)."""
+
+    # ------------------------------------------------------------------
+    def _tap(self, frame: EthernetFrame, raw: bytes) -> None:
+        now = self.monitor.sim.now
+        if frame.src == self.monitor.mac:
+            return  # ignore our own transmissions (probes etc.)
+        self.on_any_frame(frame, now)
+        if frame.ethertype == EtherType.ARP:
+            try:
+                arp = ArpPacket.decode(frame.payload)
+            except CodecError:
+                return
+            self.on_arp(arp, frame, now)
+        elif frame.ethertype == EtherType.IPV4:
+            self._maybe_dhcp(frame, now)
+
+    def _maybe_dhcp(self, frame: EthernetFrame, now: float) -> None:
+        try:
+            packet = Ipv4Packet.decode(frame.payload)
+            if packet.proto != IpProto.UDP:
+                return
+            datagram = UdpDatagram.decode(packet.payload)
+            if datagram.dst_port not in (DHCP_CLIENT_PORT, DHCP_SERVER_PORT):
+                return
+            message = DhcpMessage.decode(datagram.payload)
+        except CodecError:
+            return
+        self.on_dhcp(message, frame, now)
+
+    # -- subclass surface -------------------------------------------------
+    def on_arp(self, arp: ArpPacket, frame: EthernetFrame, now: float) -> None:
+        """Called for every ARP packet crossing the mirror port."""
+
+    def on_dhcp(self, message: DhcpMessage, frame: EthernetFrame, now: float) -> None:
+        """Called for every DHCP message crossing the mirror port."""
+
+    def on_any_frame(self, frame: EthernetFrame, now: float) -> None:
+        """Called for every frame (before protocol dispatch)."""

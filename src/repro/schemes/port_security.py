@@ -1,0 +1,112 @@
+"""Scheme 6 — switch port security.
+
+Limits how many (and optionally which) source MACs may appear on each
+access port, with Cisco-style violation actions.  It shuts down MAC
+flooding and cross-port MAC spoofing completely — but, as the analysis
+stresses, it does *not* stop ARP poisoning at all: a poisoner uses its
+own, perfectly port-legitimate MAC and lies only inside the ARP payload,
+which port security never looks at.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.l2.device import Port
+from repro.l2.topology import Lan
+from repro.net.addresses import MacAddress
+from repro.packets.ethernet import EthernetFrame
+from repro.schemes.base import Coverage, Scheme, SchemeProfile, Severity
+from repro.stack.host import Host
+
+__all__ = ["PortSecurity"]
+
+VIOLATION_PROTECT = "protect"    # silently drop offending frames
+VIOLATION_RESTRICT = "restrict"  # drop + alert
+VIOLATION_SHUTDOWN = "shutdown"  # err-disable the port
+
+
+class PortSecurity(Scheme):
+    """Per-port sticky MAC limiting on the access switch."""
+
+    profile = SchemeProfile(
+        key="port-security",
+        display_name="Switch port security",
+        kind="prevention",
+        placement="switch",
+        requires_infra_change=True,
+        requires_host_change=False,
+        requires_crypto=False,
+        supports_dhcp_networks=True,
+        cost="medium",
+        claimed_coverage={
+            "reply": Coverage.NONE,
+            "request": Coverage.NONE,
+            "gratuitous": Coverage.NONE,
+            "reactive": Coverage.NONE,
+        },
+        limitations=(
+            "does not inspect ARP payloads: poisoning with the attacker's own MAC passes",
+            "stops MAC flooding and cross-port MAC spoofing only",
+            "managed switches required; per-port administration",
+            "MAC limits break multi-device ports (VM hosts, phones+PCs)",
+        ),
+        reference="Cisco port security feature; standard hardening guidance",
+    )
+
+    def __init__(
+        self,
+        max_macs_per_port: int = 1,
+        violation: str = VIOLATION_RESTRICT,
+        trusted_ports: Optional[Set[int]] = None,
+    ) -> None:
+        super().__init__()
+        if violation not in (VIOLATION_PROTECT, VIOLATION_RESTRICT, VIOLATION_SHUTDOWN):
+            raise ValueError(f"unknown violation mode {violation!r}")
+        self.max_macs = max_macs_per_port
+        self.violation = violation
+        self._configured_trusted = trusted_ports
+        self._sticky: Dict[int, Set[MacAddress]] = {}
+        self._trusted: Set[int] = set()
+        self.violations = 0
+        self.ports_shut = 0
+
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        if self._configured_trusted is not None:
+            self._trusted = set(self._configured_trusted)
+        else:
+            self._trusted = {lan.port_of("gateway")}
+            if lan.monitor is not None:
+                self._trusted.add(lan.port_of(lan.monitor.name))
+            # Inter-switch trunks legitimately carry many MACs.
+            self._trusted |= lan.trunk_ports
+        remove = lan.switch.add_ingress_filter(self._filter)
+        self._on_teardown(remove)
+
+    def _filter(self, port: Port, frame: EthernetFrame) -> bool:
+        if port.index in self._trusted:
+            return True
+        allowed = self._sticky.setdefault(port.index, set())
+        if frame.src in allowed:
+            return True
+        if len(allowed) < self.max_macs:
+            allowed.add(frame.src)  # sticky-learn the first N stations
+            return True
+        self.violations += 1
+        if self.violation == VIOLATION_RESTRICT or self.violation == VIOLATION_SHUTDOWN:
+            self.raise_alert(
+                time=port.device.sim.now,
+                severity=Severity.WARNING,
+                kind="port-security-violation",
+                mac=frame.src,
+                message=f"port {port.name} exceeded {self.max_macs} MAC(s)",
+                dedup_window=10.0,
+                dedup_key=("port-security-violation", port.index),
+            )
+        if self.violation == VIOLATION_SHUTDOWN and port.up:
+            port.shut()
+            self.ports_shut += 1
+        return False
+
+    def state_size(self) -> int:
+        return sum(len(macs) for macs in self._sticky.values())

@@ -1,0 +1,59 @@
+"""Registry of all analyzed schemes, in the paper's presentation order."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.schemes.active_probe import ActiveProbe
+from repro.schemes.anticap import Anticap
+from repro.schemes.antidote import Antidote
+from repro.schemes.arpwatch import ArpWatch
+from repro.schemes.base import Scheme, SchemeProfile
+from repro.schemes.dai import DynamicArpInspection
+from repro.schemes.darpi import DarpiHostInspection
+from repro.schemes.hybrid import HybridDetector
+from repro.schemes.middleware import HostMiddleware
+from repro.schemes.port_security import PortSecurity
+from repro.schemes.sarp import SecureArp
+from repro.schemes.snort import SnortArpspoof
+from repro.schemes.static_entries import StaticArpEntries
+from repro.schemes.tarp import TicketArp
+
+__all__ = ["ALL_SCHEMES", "SCHEME_FACTORIES", "make_scheme", "all_profiles"]
+
+#: Scheme classes in canonical (paper) order.
+ALL_SCHEMES = (
+    StaticArpEntries,
+    Anticap,
+    Antidote,
+    SecureArp,
+    TicketArp,
+    PortSecurity,
+    DynamicArpInspection,
+    ArpWatch,
+    SnortArpspoof,
+    ActiveProbe,
+    HostMiddleware,
+    HybridDetector,
+    # Extension beyond the paper's surveyed set (see its docstring):
+    DarpiHostInspection,
+)
+
+SCHEME_FACTORIES: Dict[str, Callable[[], Scheme]] = {
+    cls.profile.key: cls for cls in ALL_SCHEMES
+}
+
+
+def make_scheme(key: str, **kwargs) -> Scheme:
+    """Instantiate a scheme by its registry key."""
+    try:
+        factory = SCHEME_FACTORIES[key]
+    except KeyError:
+        known = ", ".join(sorted(SCHEME_FACTORIES))
+        raise KeyError(f"unknown scheme {key!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def all_profiles() -> List[SchemeProfile]:
+    """All scheme profiles, paper order."""
+    return [cls.profile for cls in ALL_SCHEMES]

@@ -1,0 +1,124 @@
+"""Scheme 9 — Snort's ``arpspoof`` preprocessor (signature IDS).
+
+Snort's approach is rule-shaped rather than learning-shaped: the
+operator configures the IP->MAC map to defend, and the preprocessor
+flags (a) ARP traffic contradicting that map, (b) Ethernet-header /
+ARP-payload source inconsistencies (a classic forgery tell), and (c)
+unicast ARP *requests*, which well-behaved resolvers never send but
+ettercap-style tools do.  Strong on the configured addresses, silent on
+everything else, and the map goes stale exactly like static entries do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.arp import ArpPacket
+from repro.packets.ethernet import EthernetFrame
+from repro.schemes.base import Coverage, SchemeProfile, Severity
+from repro.schemes.monitor_base import MonitorScheme
+from repro.stack.host import Host
+
+__all__ = ["SnortArpspoof"]
+
+
+class SnortArpspoof(MonitorScheme):
+    """Configured-mapping checks + forgery signatures on the mirror port."""
+
+    profile = SchemeProfile(
+        key="snort-arpspoof",
+        display_name="Snort arpspoof preprocessor",
+        kind="detection",
+        placement="monitor",
+        requires_infra_change=False,
+        requires_host_change=False,
+        requires_crypto=False,
+        supports_dhcp_networks=False,
+        cost="free",
+        claimed_coverage={
+            "reply": Coverage.DETECTS,
+            "request": Coverage.DETECTS,
+            "gratuitous": Coverage.DETECTS,
+            "reactive": Coverage.DETECTS,
+        },
+        limitations=(
+            "only the operator-configured addresses are checked",
+            "mapping must be maintained by hand (stale on NIC swap)",
+            "detection only; no blocking",
+            "unicast-request rule fires on some legitimate stacks too",
+        ),
+        reference="Snort arpspoof preprocessor (spp_arpspoof)",
+    )
+
+    def __init__(
+        self,
+        mappings: Optional[Dict[Ipv4Address, MacAddress]] = None,
+        flag_unicast_requests: bool = True,
+    ) -> None:
+        """``mappings=None`` provisions the LAN's static inventory at
+        install time (what an operator would paste into snort.conf)."""
+        super().__init__()
+        self._configured = mappings
+        self.mappings: Dict[Ipv4Address, MacAddress] = {}
+        self.flag_unicast_requests = flag_unicast_requests
+        self.mapping_violations = 0
+        self.header_mismatches = 0
+        self.unicast_requests = 0
+
+    def _setup(self, lan: Lan) -> None:
+        self.mappings = (
+            dict(self._configured)
+            if self._configured is not None
+            else lan.true_bindings()
+        )
+
+    def on_arp(self, arp: ArpPacket, frame: EthernetFrame, now: float) -> None:
+        # (b) Ethernet source vs ARP sender-hardware-address mismatch.
+        if frame.src != arp.sha and not arp.spa.is_unspecified:
+            self.header_mismatches += 1
+            self.raise_alert(
+                time=now,
+                severity=Severity.WARNING,
+                kind="ether-arp-mismatch",
+                ip=arp.spa,
+                mac=arp.sha,
+                message=f"frame src {frame.src} != arp sha {arp.sha}",
+                dedup_window=60.0,
+            )
+        # (c) Unicast ARP request.
+        if (
+            self.flag_unicast_requests
+            and arp.is_request
+            and not arp.is_gratuitous
+            and not frame.dst.is_broadcast
+        ):
+            self.unicast_requests += 1
+            self.raise_alert(
+                time=now,
+                severity=Severity.WARNING,
+                kind="unicast-arp-request",
+                ip=arp.tpa,
+                mac=frame.src,
+                message="directed request (ettercap-style scan or probe)",
+                dedup_window=60.0,
+            )
+        # (a) Configured-mapping violation.
+        if arp.spa.is_unspecified:
+            return
+        expected = self.mappings.get(arp.spa)
+        if expected is not None and expected != arp.sha:
+            self.mapping_violations += 1
+            self.raise_alert(
+                time=now,
+                severity=Severity.CRITICAL,
+                kind="arpspoof-mapping-violation",
+                ip=arp.spa,
+                mac=arp.sha,
+                message=f"configured {expected}",
+                dedup_window=60.0,
+            )
+
+    def state_size(self) -> int:
+        return len(self.mappings)

@@ -1,0 +1,74 @@
+"""Scheme 1 — static ARP entries.
+
+The oldest advice in the book: pin the critical bindings (at minimum the
+gateway's) into every host's cache so dynamic updates cannot displace
+them.  Perfectly effective for the pinned addresses, and perfectly
+unmanageable at scale: every host must be touched on every NIC swap, and
+DHCP networks cannot use it at all for client-to-client bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.schemes.base import Coverage, Scheme, SchemeProfile
+from repro.stack.host import Host
+
+__all__ = ["StaticArpEntries"]
+
+
+class StaticArpEntries(Scheme):
+    """Pin operator-supplied bindings into each protected host's cache."""
+
+    profile = SchemeProfile(
+        key="static-arp",
+        display_name="Static ARP entries",
+        kind="prevention",
+        placement="host",
+        requires_infra_change=False,
+        requires_host_change=True,
+        requires_crypto=False,
+        supports_dhcp_networks=False,
+        cost="free",
+        claimed_coverage={
+            "reply": Coverage.PREVENTS,
+            "request": Coverage.PREVENTS,
+            "gratuitous": Coverage.PREVENTS,
+            "reactive": Coverage.PREVENTS,
+        },
+        limitations=(
+            "unmanageable beyond a handful of hosts",
+            "incompatible with DHCP-assigned addresses",
+            "silently breaks on legitimate NIC replacement",
+            "some stacks historically still overwrote 'static' entries",
+        ),
+        reference="traditional practice; discussed in every ARP-security survey",
+    )
+
+    def __init__(self, bindings: Optional[Dict[Ipv4Address, MacAddress]] = None) -> None:
+        """``bindings`` is the operator's inventory; ``None`` means pin the
+        LAN's full (true) static inventory at install time — equivalent to
+        an administrator provisioning from their asset database."""
+        super().__init__()
+        self._configured = bindings
+        self._pinned_count = 0
+
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        bindings = self._configured if self._configured is not None else lan.true_bindings()
+        for host in protected:
+            for ip, mac in bindings.items():
+                if host.ip is not None and ip == host.ip:
+                    continue
+                host.arp_cache.pin(ip, mac, now=lan.sim.now)
+                self._pinned_count += 1
+
+            def unpin(h: Host = host, pinned=dict(bindings)) -> None:
+                for ip in pinned:
+                    h.arp_cache.unpin(ip)
+
+            self._on_teardown(unpin)
+
+    def state_size(self) -> int:
+        return self._pinned_count

@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine and trace capture."""
+
+from repro.sim.simulator import Event, Simulator
+from repro.sim.trace import Direction, TraceRecord, TraceRecorder
+
+__all__ = ["Event", "Simulator", "Direction", "TraceRecord", "TraceRecorder"]

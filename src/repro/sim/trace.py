@@ -1,0 +1,104 @@
+"""Frame capture — the simulator's answer to tcpdump/libpcap.
+
+A :class:`TraceRecorder` is attached wherever frames should be observable
+(links, switch ports, host NICs).  Records carry the simulated timestamp,
+the capture location, direction, and the raw frame bytes, so a detector
+operating on a capture sees exactly what a sniffer on a mirror port would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder", "Direction"]
+
+
+class Direction:
+    """Direction of a captured frame relative to the capture point."""
+
+    TX = "tx"
+    RX = "rx"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured frame."""
+
+    time: float
+    location: str
+    direction: str
+    frame: bytes
+    note: str = ""
+
+    def __len__(self) -> int:
+        return len(self.frame)
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` objects and fans out to live taps.
+
+    Live taps (callables) receive each record as it is captured; detectors
+    that need to react in simulated real time subscribe as taps, while
+    offline analysis reads :attr:`records` afterwards.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.records: List[TraceRecord] = []
+        self._taps: List[Callable[[TraceRecord], None]] = []
+        self._capacity = capacity
+        self.dropped = 0
+
+    def tap(self, callback: Callable[[TraceRecord], None]) -> Callable[[], None]:
+        """Subscribe a live callback; returns an unsubscribe callable."""
+        self._taps.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._taps:
+                self._taps.remove(callback)
+
+        return unsubscribe
+
+    def record(
+        self,
+        time: float,
+        location: str,
+        direction: str,
+        frame: bytes,
+        note: str = "",
+    ) -> TraceRecord:
+        """Capture one frame and notify taps."""
+        rec = TraceRecord(
+            time=time, location=location, direction=direction, frame=frame, note=note
+        )
+        if self._capacity is not None and len(self.records) >= self._capacity:
+            self.dropped += 1
+        else:
+            self.records.append(rec)
+        for tap in list(self._taps):
+            tap(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # Query helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def between(self, start: float, end: float) -> Iterable[TraceRecord]:
+        """Records with ``start <= time < end``."""
+        return [r for r in self.records if start <= r.time < end]
+
+    def at_location(self, location: str) -> Iterable[TraceRecord]:
+        return [r for r in self.records if r.location == location]
+
+    def total_bytes(self) -> int:
+        """Sum of captured frame sizes (overhead accounting)."""
+        return sum(len(r.frame) for r in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0

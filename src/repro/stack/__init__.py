@@ -1,0 +1,37 @@
+"""Host network stack: ARP, IPv4, ICMP, UDP, TCP-lite, DHCP, routing."""
+
+from repro.stack.arp_cache import ArpCache, ArpCacheChange, ArpCacheEntry, BindingSource
+from repro.stack.dhcp_client import DhcpClient
+from repro.stack.dhcp_server import DhcpServer, Lease
+from repro.stack.host import Host
+from repro.stack.os_profiles import (
+    LINUX,
+    PROFILES,
+    SOLARIS_LIKE,
+    STRICT,
+    WINDOWS_XP,
+    OsProfile,
+)
+from repro.stack.router import Router
+from repro.stack.tcp_session import TcpClient, TcpConnection, TcpServer
+
+__all__ = [
+    "ArpCache",
+    "ArpCacheChange",
+    "ArpCacheEntry",
+    "BindingSource",
+    "DhcpClient",
+    "DhcpServer",
+    "Lease",
+    "Host",
+    "Router",
+    "TcpClient",
+    "TcpConnection",
+    "TcpServer",
+    "OsProfile",
+    "LINUX",
+    "WINDOWS_XP",
+    "SOLARIS_LIKE",
+    "STRICT",
+    "PROFILES",
+]

@@ -1,0 +1,231 @@
+"""A DHCP client component (RFC 2131 client side, DORA + renew).
+
+Drives a host from unconfigured to bound, announces the new binding with
+a gratuitous ARP (the real-world behaviour that passive detectors must
+not mistake for poisoning), and renews at T1.  Lease churn from many of
+these clients is the benign-noise workload of the false-positive table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import CodecError
+from repro.net.addresses import (
+    BROADCAST_IP,
+    BROADCAST_MAC,
+    Ipv4Address,
+    Ipv4Network,
+    ZERO_IP,
+)
+from repro.packets.dhcp import (
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    DhcpMessage,
+    DhcpMessageType,
+)
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.udp import UdpDatagram
+from repro.stack.host import Host
+
+__all__ = ["DhcpClient"]
+
+_INIT = "init"
+_SELECTING = "selecting"
+_REQUESTING = "requesting"
+_BOUND = "bound"
+
+
+class DhcpClient:
+    """Acquires and maintains a lease for ``host``."""
+
+    def __init__(
+        self,
+        host: Host,
+        on_bound: Optional[Callable[[Ipv4Address], None]] = None,
+        retry_timeout: float = 4.0,
+        max_retries: int = 4,
+        announce_on_bind: bool = True,
+    ) -> None:
+        self.host = host
+        self.on_bound = on_bound
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self.announce_on_bind = announce_on_bind
+        self.state = _INIT
+        self.xid = 0
+        self.server_id: Optional[Ipv4Address] = None
+        self.offered_ip: Optional[Ipv4Address] = None
+        self.lease_time: Optional[float] = None
+        self.bound_ip: Optional[Ipv4Address] = None
+        self.attempts = 0
+        self.failures = 0
+        self.binds = 0
+        self.naks = 0
+        self._timer = None
+        self._renew_cancel: Optional[Callable[[], None]] = None
+        self._rng = host.sim.rng_stream(f"dhcp-client/{host.name}")
+        host.udp_bind(DHCP_CLIENT_PORT, self._on_udp)
+
+    # ------------------------------------------------------------------
+    # State machine entry points
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin (or restart) acquisition."""
+        self.state = _SELECTING
+        self.attempts = 1
+        self.xid = self._rng.getrandbits(32)
+        self._send_discover()
+        self._arm_timer()
+
+    def release(self) -> None:
+        """Give the lease back and deconfigure."""
+        if self.bound_ip is None or self.server_id is None:
+            return
+        message = DhcpMessage.release(
+            chaddr=self.host.mac,
+            xid=self._rng.getrandbits(32),
+            ciaddr=self.bound_ip,
+            server_id=self.server_id,
+        )
+        self._send(message)
+        if self._renew_cancel is not None:
+            self._renew_cancel()
+            self._renew_cancel = None
+        self.bound_ip = None
+        self.state = _INIT
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def _on_udp(self, host: Host, src_ip: Ipv4Address, datagram: UdpDatagram) -> None:
+        try:
+            message = DhcpMessage.decode(datagram.payload)
+        except CodecError:
+            return
+        if message.chaddr != self.host.mac or message.xid != self.xid:
+            return
+        mtype = message.message_type
+        if mtype == DhcpMessageType.OFFER and self.state == _SELECTING:
+            self._on_offer(message)
+        elif mtype == DhcpMessageType.ACK and self.state == _REQUESTING:
+            self._on_ack(message)
+        elif mtype == DhcpMessageType.NAK and self.state == _REQUESTING:
+            self.naks += 1
+            self.start()
+
+    def _on_offer(self, message: DhcpMessage) -> None:
+        if message.server_id is None or message.yiaddr.is_unspecified:
+            return
+        self._cancel_timer()
+        self.state = _REQUESTING
+        self.server_id = message.server_id
+        self.offered_ip = message.yiaddr
+        request = DhcpMessage.request(
+            chaddr=self.host.mac,
+            xid=self.xid,
+            requested=message.yiaddr,
+            server_id=message.server_id,
+        )
+        self._send(request)
+        self._arm_timer()
+
+    def _on_ack(self, message: DhcpMessage) -> None:
+        self._cancel_timer()
+        self.state = _BOUND
+        self.bound_ip = message.yiaddr
+        self.lease_time = float(message.lease_time or 600)
+        self.binds += 1
+        netmask = message.options.get(1)
+        prefix = bin(int.from_bytes(netmask, "big")).count("1") if netmask else 24
+        network = Ipv4Network(
+            f"{Ipv4Address(int(message.yiaddr) & (~((1 << (32 - prefix)) - 1) & 0xFFFFFFFF))}/{prefix}"
+        )
+        self.host.set_ip(message.yiaddr, network=network, gateway=message.router)
+        if self.announce_on_bind:
+            self.host.announce()
+        if self.on_bound is not None:
+            self.on_bound(message.yiaddr)
+        self._schedule_renew()
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        def on_timeout() -> None:
+            if self.state == _BOUND:
+                return
+            if self.attempts >= self.max_retries:
+                self.failures += 1
+                self.state = _INIT
+                return
+            self.attempts += 1
+            if self.state == _SELECTING:
+                self._send_discover()
+            elif self.state == _REQUESTING and self.offered_ip is not None:
+                request = DhcpMessage.request(
+                    chaddr=self.host.mac,
+                    xid=self.xid,
+                    requested=self.offered_ip,
+                    server_id=self.server_id,
+                )
+                self._send(request)
+            self._arm_timer()
+
+        self._timer = self.host.sim.schedule(
+            self.retry_timeout, on_timeout, name=f"{self.host.name}.dhcp-timer"
+        )
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _schedule_renew(self) -> None:
+        if self.lease_time is None:
+            return
+        t1 = self.lease_time / 2
+
+        def renew() -> None:
+            if self.state != _BOUND or self.bound_ip is None:
+                return
+            self.state = _REQUESTING
+            self.xid = self._rng.getrandbits(32)
+            self.attempts = 1
+            request = DhcpMessage.request(
+                chaddr=self.host.mac,
+                xid=self.xid,
+                requested=self.bound_ip,
+                server_id=self.server_id,
+            )
+            self._send(request)
+            self._arm_timer()
+
+        event = self.host.sim.schedule(t1, renew, name=f"{self.host.name}.dhcp-renew")
+        self._renew_cancel = event.cancel
+
+    # ------------------------------------------------------------------
+    # Send helpers
+    # ------------------------------------------------------------------
+    def _send_discover(self) -> None:
+        self._send(DhcpMessage.discover(chaddr=self.host.mac, xid=self.xid))
+
+    def _send(self, message: DhcpMessage) -> None:
+        """Broadcast toward servers; works with or without an IP."""
+        datagram = UdpDatagram(
+            src_port=DHCP_CLIENT_PORT,
+            dst_port=DHCP_SERVER_PORT,
+            payload=message.encode(),
+        )
+        src = self.host.ip if self.host.ip is not None else ZERO_IP
+        packet = Ipv4Packet(
+            src=src, dst=BROADCAST_IP, proto=IpProto.UDP, payload=datagram.encode()
+        )
+        frame = EthernetFrame(
+            dst=BROADCAST_MAC,
+            src=self.host.mac,
+            ethertype=EtherType.IPV4,
+            payload=packet.encode(),
+        )
+        self.host.transmit_frame(frame)

@@ -1,0 +1,230 @@
+"""A DHCP server component (RFC 2131 server side).
+
+Runs on top of a :class:`~repro.stack.host.Host` bound to UDP port 67.
+Leases come from a finite pool — which is the whole point: DHCP
+starvation wins by exhausting it, and the DHCP-snooping binding table
+that Dynamic ARP Inspection trusts is built from this server's ACKs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import CodecError, DhcpError
+from repro.net.addresses import (
+    BROADCAST_IP,
+    BROADCAST_MAC,
+    Ipv4Address,
+    Ipv4Network,
+    MacAddress,
+)
+from repro.packets.dhcp import (
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    DhcpMessage,
+    DhcpMessageType,
+)
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.udp import UdpDatagram
+from repro.stack.host import Host
+
+__all__ = ["Lease", "DhcpServer"]
+
+
+@dataclass
+class Lease:
+    """One active address lease."""
+
+    ip: Ipv4Address
+    mac: MacAddress
+    expires_at: float
+
+    def active(self, now: float) -> bool:
+        return self.expires_at > now
+
+
+class DhcpServer:
+    """Leases addresses from ``pool_start``..``pool_end`` within ``network``."""
+
+    def __init__(
+        self,
+        host: Host,
+        network: Ipv4Network,
+        pool_start: int,
+        pool_end: int,
+        router: Ipv4Address,
+        lease_time: float = 600.0,
+        offer_hold: float = 10.0,
+    ) -> None:
+        if host.ip is None:
+            raise DhcpError("DHCP server host needs a static IP")
+        if not 1 <= pool_start <= pool_end <= network.num_hosts:
+            raise DhcpError(
+                f"bad pool [{pool_start}, {pool_end}] for {network}"
+            )
+        self.host = host
+        self.network = network
+        self.pool: List[Ipv4Address] = [
+            network.host(i) for i in range(pool_start, pool_end + 1)
+        ]
+        self.router = router
+        self.lease_time = lease_time
+        self.offer_hold = offer_hold
+        self.leases: Dict[MacAddress, Lease] = {}
+        self._offered: Dict[int, tuple[Ipv4Address, float]] = {}  # xid -> (ip, until)
+        self.offers_made = 0
+        self.acks_sent = 0
+        self.naks_sent = 0
+        self.discovers_seen = 0
+        self.pool_exhausted_events = 0
+        #: Observers of (mac, ip, lease_time) on every ACK — DHCP snooping
+        #: builds its binding table from this.
+        self.ack_listeners: List[Callable[[MacAddress, Ipv4Address, float], None]] = []
+        host.udp_bind(DHCP_SERVER_PORT, self._on_udp)
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def _expire(self) -> None:
+        now = self.host.sim.now
+        self.leases = {m: l for m, l in self.leases.items() if l.active(now)}
+        self._offered = {
+            xid: (ip, until)
+            for xid, (ip, until) in self._offered.items()
+            if until > now
+        }
+
+    def _in_use(self) -> set[Ipv4Address]:
+        used = {lease.ip for lease in self.leases.values()}
+        used.update(ip for ip, _ in self._offered.values())
+        return used
+
+    def _pick_address(self, mac: MacAddress) -> Optional[Ipv4Address]:
+        self._expire()
+        lease = self.leases.get(mac)
+        if lease is not None:
+            return lease.ip
+        used = self._in_use()
+        for candidate in self.pool:
+            if candidate not in used:
+                return candidate
+        return None
+
+    @property
+    def free_addresses(self) -> int:
+        self._expire()
+        return len(self.pool) - len(self._in_use() & set(self.pool))
+
+    @property
+    def is_exhausted(self) -> bool:
+        return self.free_addresses == 0
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def _on_udp(self, host: Host, src_ip: Ipv4Address, datagram: UdpDatagram) -> None:
+        try:
+            message = DhcpMessage.decode(datagram.payload)
+        except CodecError:
+            return
+        mtype = message.message_type
+        if mtype == DhcpMessageType.DISCOVER:
+            self._on_discover(message)
+        elif mtype == DhcpMessageType.REQUEST:
+            self._on_request(message)
+        elif mtype == DhcpMessageType.RELEASE:
+            self._on_release(message)
+
+    def _on_discover(self, message: DhcpMessage) -> None:
+        self.discovers_seen += 1
+        ip = self._pick_address(message.chaddr)
+        if ip is None:
+            self.pool_exhausted_events += 1
+            return  # servers stay silent when the pool is dry
+        self._offered[message.xid] = (ip, self.host.sim.now + self.offer_hold)
+        self.offers_made += 1
+        offer = DhcpMessage.offer(
+            chaddr=message.chaddr,
+            xid=message.xid,
+            yiaddr=ip,
+            server_id=self.host.ip,
+            lease_time=int(self.lease_time),
+            netmask=self.network.netmask,
+            router=self.router,
+        )
+        self._send(offer, message.chaddr)
+
+    def _on_request(self, message: DhcpMessage) -> None:
+        wanted = message.requested_ip or message.ciaddr
+        server_id = message.server_id
+        if server_id is not None and server_id != self.host.ip:
+            # Client chose another server; release any offer we held.
+            self._offered.pop(message.xid, None)
+            return
+        self._expire()
+        ok = (
+            wanted is not None
+            and not wanted.is_unspecified
+            and wanted in self.network
+            and (
+                wanted == self.leases.get(message.chaddr, Lease(wanted, message.chaddr, 0)).ip
+                or wanted not in self._in_use()
+                or self._offered.get(message.xid, (None, 0))[0] == wanted
+            )
+        )
+        if not ok:
+            self.naks_sent += 1
+            nak = DhcpMessage.nak(message.chaddr, message.xid, self.host.ip)
+            self._send(nak, message.chaddr)
+            return
+        self._offered.pop(message.xid, None)
+        self.leases[message.chaddr] = Lease(
+            ip=wanted,
+            mac=message.chaddr,
+            expires_at=self.host.sim.now + self.lease_time,
+        )
+        self.acks_sent += 1
+        ack = DhcpMessage.ack(
+            chaddr=message.chaddr,
+            xid=message.xid,
+            yiaddr=wanted,
+            server_id=self.host.ip,
+            lease_time=int(self.lease_time),
+            netmask=self.network.netmask,
+            router=self.router,
+        )
+        for listener in list(self.ack_listeners):
+            listener(message.chaddr, wanted, self.lease_time)
+        self._send(ack, message.chaddr)
+
+    def _on_release(self, message: DhcpMessage) -> None:
+        lease = self.leases.get(message.chaddr)
+        if lease is not None and lease.ip == message.ciaddr:
+            del self.leases[message.chaddr]
+
+    def _send(self, message: DhcpMessage, chaddr: MacAddress) -> None:
+        """Reply toward the client: L2 unicast to chaddr, L3 broadcast.
+
+        Clients in INIT state have no IP yet, so replies go to the limited
+        broadcast address but are framed straight at the client's MAC.
+        """
+        datagram = UdpDatagram(
+            src_port=DHCP_SERVER_PORT,
+            dst_port=DHCP_CLIENT_PORT,
+            payload=message.encode(),
+        )
+        packet = Ipv4Packet(
+            src=self.host.ip,
+            dst=BROADCAST_IP,
+            proto=IpProto.UDP,
+            payload=datagram.encode(),
+        )
+        frame = EthernetFrame(
+            dst=chaddr,
+            src=self.host.mac,
+            ethertype=EtherType.IPV4,
+            payload=packet.encode(),
+        )
+        self.host.transmit_frame(frame)

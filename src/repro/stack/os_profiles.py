@@ -1,0 +1,103 @@
+"""ARP cache-update policies of the operating systems the paper discusses.
+
+Which poisoning variant works against which victim is decided almost
+entirely by these flags: classic literature (and the Anticap/Antidote
+papers) distinguishes stacks that accept *unsolicited* replies, stacks
+that only *update existing* entries from requests, and hardened stacks.
+The profiles below reproduce those behaviours so the effectiveness matrix
+(Table 2) exercises real policy differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "OsProfile",
+    "LINUX",
+    "WINDOWS_XP",
+    "SOLARIS_LIKE",
+    "STRICT",
+    "PROFILES",
+]
+
+
+@dataclass(frozen=True)
+class OsProfile:
+    """Knobs governing how a host updates its ARP cache.
+
+    Attributes
+    ----------
+    accept_unsolicited_reply:
+        Create/overwrite a cache entry from a reply that was never asked
+        for.  Classic Windows behaviour; the easiest poisoning target.
+    update_from_request:
+        Refresh/overwrite an *existing* entry using the sender fields of a
+        received request.  Linux does this (it is cheap), which is what
+        request-poisoning exploits.
+    create_from_request:
+        Create a brand-new entry from a received request's sender fields
+        (beyond replying to it).  Solaris-like stacks do; Linux does not.
+    accept_gratuitous:
+        Honour gratuitous announcements (needed for failover/IP takeover,
+        exploited by gratuitous poisoning).
+    reply_wait:
+        Seconds a resolution waits for a reply before retrying.
+    max_retries:
+        Resolution attempts before giving up.
+    cache_timeout:
+        Seconds a dynamic entry stays valid without refresh.
+    neighbor_table_size:
+        Bound on the ARP cache (Linux ``gc_thresh3``-style); ``None``
+        means unbounded.  Bounded tables are what neighbor-exhaustion
+        attacks evict entries out of.
+    """
+
+    name: str
+    accept_unsolicited_reply: bool
+    update_from_request: bool
+    create_from_request: bool
+    accept_gratuitous: bool
+    reply_wait: float = 1.0
+    max_retries: int = 3
+    cache_timeout: float = 60.0
+    neighbor_table_size: Optional[int] = None
+
+
+LINUX = OsProfile(
+    name="linux",
+    accept_unsolicited_reply=False,
+    update_from_request=True,
+    create_from_request=False,
+    accept_gratuitous=True,
+)
+
+WINDOWS_XP = OsProfile(
+    name="windows-xp",
+    accept_unsolicited_reply=True,
+    update_from_request=True,
+    create_from_request=True,
+    accept_gratuitous=True,
+)
+
+SOLARIS_LIKE = OsProfile(
+    name="solaris-like",
+    accept_unsolicited_reply=False,
+    update_from_request=True,
+    create_from_request=True,
+    accept_gratuitous=True,
+    cache_timeout=20.0 * 60,
+)
+
+STRICT = OsProfile(
+    name="strict",
+    accept_unsolicited_reply=False,
+    update_from_request=False,
+    create_from_request=False,
+    accept_gratuitous=False,
+)
+
+PROFILES: dict[str, OsProfile] = {
+    p.name: p for p in (LINUX, WINDOWS_XP, SOLARIS_LIKE, STRICT)
+}

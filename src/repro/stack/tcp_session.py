@@ -1,0 +1,264 @@
+"""Minimal stateful TCP sessions (handshake, ordered data, FIN/RST).
+
+Enough TCP to make session hijacking demonstrable end-to-end: real
+sequence/acknowledgement numbers, in-order delivery checks, and RST
+teardown — the things a hijacker must observe and forge.  Deliberately
+omitted (the simulated LAN neither loses nor reorders packets unless an
+attacker does it): retransmission, windows, congestion control.
+
+Usage::
+
+    server = TcpServer(host_b, port=80, on_data=lambda conn, data: ...)
+    client = TcpClient(host_a)
+    conn = client.connect(host_b.ip, 80, on_connected=..., on_data=...)
+    conn.send(b"GET / HTTP/1.0")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CodecError, StackError
+from repro.net.addresses import Ipv4Address
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.tcp import TcpFlags, TcpSegment
+from repro.stack.host import Host
+
+__all__ = ["TcpConnection", "TcpServer", "TcpClient"]
+
+CLOSED = "closed"
+SYN_SENT = "syn-sent"
+SYN_RCVD = "syn-rcvd"
+ESTABLISHED = "established"
+FIN_WAIT = "fin-wait"
+
+
+FlowKey = Tuple[Ipv4Address, int, int]  # (peer ip, peer port, local port)
+
+
+class TcpConnection:
+    """One end of a TCP conversation."""
+
+    def __init__(
+        self,
+        host: Host,
+        peer_ip: Ipv4Address,
+        peer_port: int,
+        local_port: int,
+        initial_seq: int,
+        on_data: Optional[Callable[["TcpConnection", bytes], None]] = None,
+        on_close: Optional[Callable[["TcpConnection"], None]] = None,
+    ) -> None:
+        self.host = host
+        self.peer_ip = peer_ip
+        self.peer_port = peer_port
+        self.local_port = local_port
+        self.state = CLOSED
+        self.snd_nxt = initial_seq
+        self.rcv_nxt = 0
+        self.on_data = on_data
+        self.on_close = on_close
+        self.on_connected: Optional[Callable[["TcpConnection"], None]] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.out_of_order_drops = 0
+        self.received: List[bytes] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> FlowKey:
+        return (self.peer_ip, self.peer_port, self.local_port)
+
+    def _emit(self, flags: int, payload: bytes = b"") -> None:
+        segment = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.peer_port,
+            seq=self.snd_nxt & 0xFFFFFFFF,
+            ack=self.rcv_nxt & 0xFFFFFFFF,
+            flags=flags,
+            payload=payload,
+        )
+        self.host.send_ip(self.peer_ip, IpProto.TCP, segment.encode())
+
+    # ------------------------------------------------------------------
+    # Active open / data / close
+    # ------------------------------------------------------------------
+    def open(self) -> None:
+        self.state = SYN_SENT
+        self._emit(TcpFlags.SYN)
+        self.snd_nxt += 1  # SYN consumes one sequence number
+
+    def send(self, data: bytes) -> None:
+        if self.state != ESTABLISHED:
+            raise StackError(f"cannot send in state {self.state}")
+        self._emit(TcpFlags.ACK | TcpFlags.PSH, data)
+        self.snd_nxt += len(data)
+        self.bytes_sent += len(data)
+
+    def close(self) -> None:
+        if self.state == ESTABLISHED:
+            self.state = FIN_WAIT
+            self._emit(TcpFlags.FIN | TcpFlags.ACK)
+            self.snd_nxt += 1
+
+    def abort(self) -> None:
+        if self.state != CLOSED:
+            self._emit(TcpFlags.RST)
+            self._dead()
+
+    def _dead(self) -> None:
+        was_open = self.state != CLOSED
+        self.state = CLOSED
+        if was_open and self.on_close is not None:
+            self.on_close(self)
+
+    # ------------------------------------------------------------------
+    # Segment input (driven by the session registry on the host)
+    # ------------------------------------------------------------------
+    def handle(self, segment: TcpSegment) -> None:
+        if segment.flags & TcpFlags.RST:
+            # A forged or genuine reset kills the connection outright if
+            # the sequence number is in window (here: exact match).
+            if segment.seq == self.rcv_nxt or self.state == SYN_SENT:
+                self._dead()
+            return
+        if self.state == SYN_SENT and segment.flags & TcpFlags.SYN:
+            if not segment.flags & TcpFlags.ACK or segment.ack != self.snd_nxt:
+                return
+            self.rcv_nxt = (segment.seq + 1) & 0xFFFFFFFF
+            self.state = ESTABLISHED
+            self._emit(TcpFlags.ACK)
+            if self.on_connected is not None:
+                self.on_connected(self)
+            return
+        if self.state == SYN_RCVD and segment.flags & TcpFlags.ACK:
+            if segment.ack == self.snd_nxt:
+                self.state = ESTABLISHED
+            # fall through: the ACK may carry data
+        if self.state not in (ESTABLISHED, FIN_WAIT):
+            return
+        if segment.flags & TcpFlags.FIN and segment.seq == self.rcv_nxt:
+            self.rcv_nxt = (self.rcv_nxt + 1) & 0xFFFFFFFF
+            self._emit(TcpFlags.ACK)
+            self._dead()
+            return
+        if segment.payload:
+            if segment.seq != self.rcv_nxt:
+                self.out_of_order_drops += 1
+                return  # no reassembly: strict in-order delivery
+            self.rcv_nxt = (self.rcv_nxt + len(segment.payload)) & 0xFFFFFFFF
+            self.bytes_received += len(segment.payload)
+            self.received.append(segment.payload)
+            self._emit(TcpFlags.ACK)
+            if self.on_data is not None:
+                self.on_data(self, segment.payload)
+
+
+class _SessionRegistry:
+    """Per-host demux of TCP segments to connections/listeners."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.connections: Dict[FlowKey, TcpConnection] = {}
+        self.listeners: Dict[int, "TcpServer"] = {}
+        host.tcp_session_demux = self._demux  # type: ignore[attr-defined]
+
+    @classmethod
+    def of(cls, host: Host) -> "_SessionRegistry":
+        registry = getattr(host, "_tcp_session_registry", None)
+        if registry is None:
+            registry = cls(host)
+            host._tcp_session_registry = registry  # type: ignore[attr-defined]
+        return registry
+
+    def _demux(self, src_ip: Ipv4Address, segment: TcpSegment) -> bool:
+        key = (src_ip, segment.src_port, segment.dst_port)
+        conn = self.connections.get(key)
+        if conn is not None:
+            conn.handle(segment)
+            return True
+        listener = self.listeners.get(segment.dst_port)
+        if listener is not None:
+            listener.accept(src_ip, segment)
+            return True
+        return False
+
+
+class TcpServer:
+    """A listening socket accepting any number of peers."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        on_data: Optional[Callable[[TcpConnection, bytes], None]] = None,
+        on_close: Optional[Callable[[TcpConnection], None]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.on_data = on_data
+        self.on_close = on_close
+        self.accepted: List[TcpConnection] = []
+        registry = _SessionRegistry.of(host)
+        if port in registry.listeners:
+            raise StackError(f"{host.name}: TCP port {port} already listening")
+        registry.listeners[port] = self
+        host.tcp_open_ports.add(port)
+        self._isn = host.sim.rng_stream(f"tcp/{host.name}/{port}")
+
+    def accept(self, src_ip: Ipv4Address, segment: TcpSegment) -> None:
+        if not (segment.flags & TcpFlags.SYN) or segment.flags & TcpFlags.ACK:
+            return
+        registry = _SessionRegistry.of(self.host)
+        conn = TcpConnection(
+            host=self.host,
+            peer_ip=src_ip,
+            peer_port=segment.src_port,
+            local_port=self.port,
+            initial_seq=self._isn.getrandbits(32),
+            on_data=self.on_data,
+            on_close=self.on_close,
+        )
+        conn.state = SYN_RCVD
+        conn.rcv_nxt = (segment.seq + 1) & 0xFFFFFFFF
+        registry.connections[conn.key] = conn
+        self.accepted.append(conn)
+        conn._emit(TcpFlags.SYN | TcpFlags.ACK)
+        conn.snd_nxt += 1
+
+    def close(self) -> None:
+        registry = _SessionRegistry.of(self.host)
+        registry.listeners.pop(self.port, None)
+        self.host.tcp_open_ports.discard(self.port)
+
+
+class TcpClient:
+    """Factory for outbound connections from one host."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self._isn = host.sim.rng_stream(f"tcp-client/{host.name}")
+
+    def connect(
+        self,
+        dst_ip: Ipv4Address,
+        dst_port: int,
+        on_connected: Optional[Callable[[TcpConnection], None]] = None,
+        on_data: Optional[Callable[[TcpConnection, bytes], None]] = None,
+        on_close: Optional[Callable[[TcpConnection], None]] = None,
+    ) -> TcpConnection:
+        registry = _SessionRegistry.of(self.host)
+        conn = TcpConnection(
+            host=self.host,
+            peer_ip=dst_ip,
+            peer_port=dst_port,
+            local_port=self.host.ephemeral_port(),
+            initial_seq=self._isn.getrandbits(32),
+            on_data=on_data,
+            on_close=on_close,
+        )
+        conn.on_connected = on_connected
+        registry.connections[conn.key] = conn
+        conn.open()
+        return conn

@@ -1,0 +1,6 @@
+"""Workload generators: benign traffic, churn, and virtual-IP failover."""
+
+from repro.workloads.benign import BenignTraffic, ChurnEvent, ChurnWorkload
+from repro.workloads.failover import VirtualIpPair
+
+__all__ = ["BenignTraffic", "ChurnWorkload", "ChurnEvent", "VirtualIpPair"]

@@ -1,0 +1,81 @@
+"""Virtual-IP failover (VRRP/keepalived-style hot standby).
+
+The one *legitimate* heavy user of gratuitous ARP: an active/standby
+pair shares a virtual service IP, and on failover the standby claims it
+with a gratuitous announcement so clients re-learn the binding at once.
+
+This is the acid test the analysis applies to host-hardening schemes:
+a failover is indistinguishable on the wire from a gratuitous-ARP
+poisoning — same packet, different intent.  Schemes that freeze
+bindings (static entries, Anticap) *break* failover; verification-based
+schemes (Antidote, DARPI, active probe, hybrid) handle it because the
+former owner genuinely stops answering for the address.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TopologyError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address
+from repro.stack.host import Host
+
+__all__ = ["VirtualIpPair"]
+
+
+class VirtualIpPair:
+    """An active/standby pair serving one virtual IP."""
+
+    def __init__(
+        self,
+        lan: Lan,
+        virtual_ip: Ipv4Address | str | int,
+        name: str = "cluster",
+    ) -> None:
+        self.lan = lan
+        if isinstance(virtual_ip, int):
+            self.virtual_ip = lan.network.host(virtual_ip)
+        else:
+            self.virtual_ip = Ipv4Address(virtual_ip)
+        if self.virtual_ip not in lan.network:
+            raise TopologyError(f"{self.virtual_ip} is outside {lan.network}")
+        self.node_a = lan.add_host(f"{name}-a", ip=self.virtual_ip)
+        self.node_b = lan.add_host(f"{name}-b", ip=None)
+        # The standby holds no address until promoted; it just listens.
+        self._standby_parked_ip = self.node_b.ip
+        self.node_b.ip = None
+        self.active: Host = self.node_a
+        self.standby: Host = self.node_b
+        self.failovers = 0
+        self.active.announce()
+
+    # ------------------------------------------------------------------
+    def failover(self, clean: bool = True) -> Host:
+        """Promote the standby; returns the new active node.
+
+        ``clean=True`` models an orderly handover (the old active
+        relinquishes the address before the takeover); ``clean=False``
+        models a crash — the old node simply stops responding, then the
+        standby claims the address.
+        """
+        old_active, new_active = self.active, self.standby
+        if clean:
+            old_active.ip = None  # releases the VIP; stops answering for it
+        else:
+            old_active.nic.shut()  # crashed/unplugged
+        new_active.ip = self.virtual_ip
+        new_active.announce()
+        self.active, self.standby = new_active, old_active
+        self.failovers += 1
+        return new_active
+
+    def recover_standby(self) -> None:
+        """Bring a crashed node back as (addressless) standby."""
+        self.standby.nic.no_shut()
+        self.standby.ip = None
+
+    @property
+    def serving_mac(self):
+        """The MAC currently answering for the virtual IP."""
+        return self.active.mac

@@ -1,0 +1,150 @@
+"""Tests for analysis helpers: tables, series, stats, trace recorder, OUI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Summary, replicate, summarize
+from repro.analysis.tables import render_series, render_table, to_csv
+from repro.net.addresses import MacAddress
+from repro.net.oui import vendor_for
+from repro.sim.trace import Direction, TraceRecorder
+
+
+class TestRenderTable:
+    def test_columns_align(self):
+        text = render_table(["a", "long-header"], [["x", "1"], ["yyyy", "22"]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_included(self):
+        text = render_table(["a"], [["1"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_non_string_cells(self):
+        text = render_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+    def test_csv_quoting(self):
+        csv = to_csv(["a", "b"], [['has,comma', 'has"quote']])
+        assert '"has,comma"' in csv
+        assert '"has""quote"' in csv
+
+    def test_series_renders_none_as_dash(self):
+        text = render_series("fig", [1.0, 2.0], {"s": [0.5, None]})
+        assert "-" in text.splitlines()[-1]
+
+
+class TestStats:
+    def test_summarize_basics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.n == 3
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        assert summary.stdev == pytest.approx(1.0)
+
+    def test_summarize_single_value(self):
+        summary = summarize([5.0])
+        assert summary.stdev == 0.0
+        assert summary.ci95_half_width == 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci_shrinks_with_n(self):
+        narrow = summarize([1.0, 2.0] * 50)
+        wide = summarize([1.0, 2.0])
+        assert narrow.ci95_half_width < wide.ci95_half_width
+
+    def test_replicate_over_dataclass(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class R:
+            value: float
+            hit: bool
+            latency: float | None
+
+        def experiment(seed: int) -> R:
+            return R(value=float(seed), hit=seed % 2 == 0, latency=None if seed == 1 else 1.0)
+
+        out = replicate(experiment, seeds=[0, 1, 2, 3])
+        assert out["value"].mean == pytest.approx(1.5)
+        assert out["hit"].mean == pytest.approx(0.5)  # success rate
+        assert out["latency"].n == 3  # None runs excluded
+
+    def test_replicate_over_dict(self):
+        out = replicate(lambda seed: {"x": seed * 2}, seeds=[1, 2, 3])
+        assert out["x"].mean == pytest.approx(4.0)
+
+    def test_replicate_metric_filter(self):
+        out = replicate(lambda seed: {"x": 1, "y": 2}, seeds=[1], metrics=["y"])
+        assert set(out) == {"y"}
+
+    def test_replicate_needs_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: {}, seeds=[])
+
+    def test_replicate_rejects_junk(self):
+        with pytest.raises(TypeError):
+            replicate(lambda seed: "nope", seeds=[1])
+
+    def test_replicate_real_experiment(self):
+        """Multi-seed replication of the baseline MITM effectiveness."""
+        from repro.core.experiment import ScenarioConfig, run_effectiveness
+
+        def experiment(seed: int):
+            config = ScenarioConfig(
+                seed=seed, n_hosts=3, warmup=2.0, attack_duration=8.0, cooldown=1.0
+            )
+            return run_effectiveness(None, "reply", config=config)
+
+        out = replicate(experiment, seeds=[1, 2, 3])
+        assert out["prevented"].mean == 0.0  # undefended never holds
+        assert out["victim_poisoned_seconds"].mean > 5.0
+
+
+class TestTraceRecorder:
+    def test_records_and_taps(self):
+        recorder = TraceRecorder()
+        seen = []
+        unsubscribe = recorder.tap(seen.append)
+        recorder.record(1.0, "eth0", Direction.RX, b"abc")
+        assert len(recorder) == 1
+        assert seen[0].frame == b"abc"
+        unsubscribe()
+        recorder.record(2.0, "eth0", Direction.RX, b"def")
+        assert len(seen) == 1
+
+    def test_capacity_drops_overflow(self):
+        recorder = TraceRecorder(capacity=2)
+        for i in range(5):
+            recorder.record(float(i), "x", Direction.TX, b"z")
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+
+    def test_queries(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "a", Direction.TX, b"xx")
+        recorder.record(2.0, "b", Direction.RX, b"yyy")
+        assert len(list(recorder.between(0.5, 1.5))) == 1
+        assert len(list(recorder.at_location("b"))) == 1
+        assert recorder.total_bytes() == 5
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "a", Direction.TX, b"x")
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestOui:
+    def test_known_vendor(self):
+        assert vendor_for(MacAddress("b8:27:eb:00:00:01")) == "Raspberry Pi Foundation"
+
+    def test_unknown_vendor(self):
+        assert vendor_for(MacAddress("00:11:99:00:00:01")) is None
+
+    def test_locally_administered_has_no_vendor(self):
+        assert vendor_for(MacAddress("02:27:eb:00:00:01")) is None

@@ -1,0 +1,129 @@
+"""Targeted tests for public APIs the main suites exercise only indirectly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import GroundTruth
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.schemes.monitor_base import BindingDatabase
+from repro.sim.simulator import Simulator
+from repro.stack.tcp_session import TcpClient, TcpServer
+from repro.workloads.failover import VirtualIpPair
+
+
+class TestSmallApis:
+    def test_tcp_abort_sends_rst(self, sim):
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        b = lan.add_host("b")
+        server = TcpServer(b, 80)
+        conn = TcpClient(a).connect(b.ip, 80)
+        sim.run(until=1.0)
+        assert conn.state == "established"
+        conn.abort()
+        sim.run(until=2.0)
+        assert conn.state == "closed"
+        assert server.accepted[0].state == "closed"
+
+    def test_iter_pending_orders_events(self, sim):
+        sim.schedule(3.0, lambda: None, name="late")
+        sim.schedule(1.0, lambda: None, name="early")
+        cancelled = sim.schedule(2.0, lambda: None, name="gone")
+        cancelled.cancel()
+        names = [e.name for e in sim.iter_pending()]
+        assert names == ["early", "late"]
+
+    def test_stations_on_port(self, sim):
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        a.ping(lan.gateway.ip)
+        sim.run(until=1.0)
+        assert lan.switch.stations_on_port(lan.port_of("a")) == 1
+
+    def test_cache_invalidate_removes_static_too(self):
+        from repro.stack.arp_cache import ArpCache
+
+        cache = ArpCache()
+        ip, mac = Ipv4Address("10.0.0.1"), MacAddress("02:00:00:00:00:01")
+        cache.pin(ip, mac)
+        cache.invalidate(ip)
+        assert cache.get(ip, now=0.0) is None
+
+    def test_flip_flopped_station_flag(self):
+        db = BindingDatabase()
+        ip = Ipv4Address("10.0.0.1")
+        m1, m2 = MacAddress("02:00:00:00:00:01"), MacAddress("02:00:00:00:00:02")
+        db.observe(ip, m1, 0.0)
+        db.observe(ip, m2, 1.0)
+        assert not db.get(ip).flip_flopped
+        db.observe(ip, m1, 2.0)
+        assert db.get(ip).flip_flopped
+
+    def test_ground_truth_during_attack_with_slack(self):
+        truth = GroundTruth(
+            true_bindings={},
+            attacker_macs=set(),
+            attack_intervals=((5.0, 10.0),),
+            slack=2.0,
+        )
+        assert truth.during_attack(5.0)
+        assert truth.during_attack(11.9)
+        assert not truth.during_attack(12.1)
+        assert not truth.during_attack(4.9)
+
+    def test_failover_recover_standby(self, sim):
+        lan = Lan(sim)
+        pair = VirtualIpPair(lan, virtual_ip=50)
+        sim.run(until=1.0)
+        pair.failover(clean=False)  # old active crashed
+        sim.run(until=2.0)
+        pair.recover_standby()
+        assert pair.standby.nic.up
+        assert pair.standby.ip is None
+        # A second failover goes back the other way.
+        pair.failover(clean=True)
+        sim.run(until=3.0)
+        assert pair.failovers == 2
+        assert pair.active.ip == pair.virtual_ip
+
+    def test_virtual_ip_validation(self, sim):
+        lan = Lan(sim)
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            VirtualIpPair(lan, virtual_ip="10.99.99.99")
+
+    def test_mitm_intercepted_between(self, sim):
+        from repro.attacks.mitm import MitmAttack
+        from repro.stack.os_profiles import WINDOWS_XP
+
+        lan = Lan(sim)
+        victim = lan.add_host("victim", profile=WINDOWS_XP)
+        mallory = lan.add_host("mallory")
+        victim.ping(lan.gateway.ip)
+        sim.run(until=1.0)
+        mitm = MitmAttack(mallory, victim, lan.gateway)
+        mitm.start()
+        cancel = sim.call_every(0.5, lambda: victim.ping(lan.gateway.ip))
+        sim.run(until=10.0)
+        mitm.stop()
+        cancel()
+        early = mitm.intercepted_between(0.0, 5.0)
+        late = mitm.intercepted_between(5.0, 10.0)
+        assert len(early) + len(late) == mitm.frames_relayed
+        assert all(p.time < 5.0 for p in early)
+
+    def test_akd_registry_size(self, sim):
+        import random
+
+        from repro.crypto.akd import AkdService
+        from repro.crypto.keys import generate_keypair
+
+        lan = Lan(sim)
+        host = lan.add_host("akd")
+        service = AkdService(host, generate_keypair(random.Random(5), bits=256))
+        assert service.registry_size == 0
+        service.enroll(Ipv4Address("10.0.0.1"), service.public_key)
+        assert service.registry_size == 1

@@ -1,0 +1,227 @@
+"""Unit tests for the crypto substrate: RSA keys, signed bindings, AKD, LTA."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.akd import AKD_PORT, AkdClient, AkdService
+from repro.crypto.keys import PublicKey, generate_keypair
+from repro.crypto.lta import LocalTicketAgent, Ticket
+from repro.crypto.sign import CryptoCostModel, SignedBinding
+from repro.errors import CryptoError, KeyRegistrationError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+
+KP = generate_keypair(random.Random(0xC0FFEE), bits=256)
+KP2 = generate_keypair(random.Random(0xBEEF), bits=256)
+IP = Ipv4Address("192.168.88.10")
+MAC = MacAddress("02:00:00:00:00:01")
+
+
+class TestKeys:
+    def test_sign_verify(self):
+        sig = KP.private.sign(b"message")
+        assert KP.public.verify(b"message", sig)
+
+    def test_wrong_message_fails(self):
+        sig = KP.private.sign(b"message")
+        assert not KP.public.verify(b"messagE", sig)
+
+    def test_wrong_key_fails(self):
+        sig = KP.private.sign(b"message")
+        assert not KP2.public.verify(b"message", sig)
+
+    def test_garbage_signature_fails(self):
+        assert not KP.public.verify(b"message", b"\x00" * 32)
+        assert not KP.public.verify(b"message", b"")
+
+    def test_signature_out_of_range_fails(self):
+        huge = (KP.public.n + 5).to_bytes((KP.public.n.bit_length() // 8) + 2, "big")
+        assert not KP.public.verify(b"m", huge)
+
+    def test_public_key_wire_roundtrip(self):
+        blob = KP.public.encode()
+        assert PublicKey.decode(blob) == KP.public
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(CryptoError):
+            PublicKey.decode(KP.public.encode()[:5])
+
+    def test_fingerprint_stable(self):
+        assert KP.public.fingerprint == KP.public.fingerprint
+        assert KP.public.fingerprint != KP2.public.fingerprint
+
+    def test_deterministic_generation(self):
+        a = generate_keypair(random.Random(7), bits=256)
+        b = generate_keypair(random.Random(7), bits=256)
+        assert a.public == b.public
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_keypair(random.Random(1), bits=64)
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=25)
+    def test_sign_verify_property(self, message):
+        assert KP.public.verify(message, KP.private.sign(message))
+
+
+class TestSignedBinding:
+    def test_create_verify(self):
+        binding = SignedBinding.create(IP, MAC, timestamp=10.0, key=KP.private)
+        assert binding.verify(KP.public)
+
+    def test_tampered_binding_fails(self):
+        binding = SignedBinding.create(IP, MAC, timestamp=10.0, key=KP.private)
+        forged = SignedBinding(
+            ip=IP, mac=MacAddress("02:00:00:00:00:99"),
+            timestamp=10.0, signature=binding.signature,
+        )
+        assert not forged.verify(KP.public)
+
+    def test_freshness_window(self):
+        binding = SignedBinding.create(IP, MAC, timestamp=100.0, key=KP.private)
+        assert binding.fresh(now=105.0, max_age=30.0)
+        assert not binding.fresh(now=200.0, max_age=30.0)
+        assert not binding.fresh(now=50.0, max_age=30.0)  # from the future
+
+    def test_wire_roundtrip(self):
+        binding = SignedBinding.create(IP, MAC, timestamp=1.5, key=KP.private)
+        decoded = SignedBinding.decode(binding.encode())
+        assert decoded == binding
+        assert decoded.verify(KP.public)
+
+    def test_truncated_rejected(self):
+        binding = SignedBinding.create(IP, MAC, timestamp=1.5, key=KP.private)
+        with pytest.raises(CryptoError):
+            SignedBinding.decode(binding.encode()[:10])
+
+    def test_cost_model_scaling(self):
+        model = CryptoCostModel(sign_time=2e-3, verify_time=1e-3)
+        slow = model.scaled(2.0)
+        assert slow.sign_time == pytest.approx(4e-3)
+        with pytest.raises(CryptoError):
+            model.scaled(0)
+
+
+class TestTickets:
+    def test_issue_and_verify(self):
+        lta = LocalTicketAgent(KP)
+        ticket = lta.issue(IP, MAC, now=0.0)
+        assert ticket.verify(lta.public_key)
+        assert ticket.valid_at(100.0)
+        assert not ticket.valid_at(1e6)
+
+    def test_forged_ticket_fails(self):
+        lta = LocalTicketAgent(KP)
+        ticket = lta.issue(IP, MAC, now=0.0)
+        forged = Ticket(
+            ip=Ipv4Address("192.168.88.66"), mac=MAC,
+            issued_at=ticket.issued_at, expires_at=ticket.expires_at,
+            signature=ticket.signature,
+        )
+        assert not forged.verify(lta.public_key)
+
+    def test_wire_roundtrip(self):
+        lta = LocalTicketAgent(KP)
+        ticket = lta.issue(IP, MAC, now=3.0, validity=60.0)
+        decoded = Ticket.decode(ticket.encode())
+        assert decoded == ticket
+        assert decoded.verify(lta.public_key)
+
+    def test_nonpositive_validity_rejected(self):
+        lta = LocalTicketAgent(KP)
+        with pytest.raises(CryptoError):
+            lta.issue(IP, MAC, now=0.0, validity=0.0)
+
+    def test_issue_counter(self):
+        lta = LocalTicketAgent(KP)
+        lta.issue(IP, MAC, now=0.0)
+        lta.issue(IP, MAC, now=1.0)
+        assert lta.tickets_issued == 2
+
+
+class TestAkd:
+    def make_lan(self, sim):
+        lan = Lan(sim)
+        akd_host = lan.add_host("akd")
+        service = AkdService(akd_host, KP)
+        client_host = lan.add_host("client")
+        client = AkdClient(client_host, akd_host.ip, KP.public)
+        return lan, service, client
+
+    def test_enroll_and_lookup_over_the_wire(self, sim):
+        lan, service, client = self.make_lan(sim)
+        target = Ipv4Address("192.168.88.50")
+        service.enroll(target, KP2.public)
+        got = []
+        client.lookup(target, got.append)
+        sim.run(until=2.0)
+        assert got == [KP2.public]
+        assert service.queries_served == 1
+
+    def test_lookup_caches(self, sim):
+        lan, service, client = self.make_lan(sim)
+        target = Ipv4Address("192.168.88.50")
+        service.enroll(target, KP2.public)
+        client.lookup(target, lambda k: None)
+        sim.run(until=2.0)
+        client.lookup(target, lambda k: None)
+        assert client.queries_sent == 1
+
+    def test_unknown_ip_times_out_with_none(self, sim):
+        lan, service, client = self.make_lan(sim)
+        got = []
+        client.lookup(Ipv4Address("192.168.88.99"), got.append)
+        sim.run(until=2.0)
+        assert got == [None]
+        assert service.unknown_queries == 1
+
+    def test_conflicting_enrollment_rejected(self, sim):
+        lan, service, client = self.make_lan(sim)
+        target = Ipv4Address("192.168.88.50")
+        service.enroll(target, KP2.public)
+        with pytest.raises(KeyRegistrationError):
+            service.enroll(target, KP.public)
+
+    def test_reenrollment_same_key_ok(self, sim):
+        lan, service, client = self.make_lan(sim)
+        target = Ipv4Address("192.168.88.50")
+        service.enroll(target, KP2.public)
+        service.enroll(target, KP2.public)
+
+    def test_revoke(self, sim):
+        lan, service, client = self.make_lan(sim)
+        target = Ipv4Address("192.168.88.50")
+        service.enroll(target, KP2.public)
+        service.revoke(target)
+        assert not service.knows(target)
+
+    def test_forged_akd_response_ignored(self, sim):
+        """An attacker answering AKD queries without the AKD key loses."""
+        lan, service, client = self.make_lan(sim)
+        target = Ipv4Address("192.168.88.50")
+        service.enroll(target, KP2.public)
+        mallory = lan.add_host("mallory")
+
+        import struct
+
+        blob = KP2.public.encode()  # real key but *mallory's* signature
+        fake_sig = KP2.private.sign(target.packed + blob)
+        response = (
+            b"AKDR" + target.packed
+            + struct.pack("!H", len(blob)) + blob
+            + struct.pack("!H", len(fake_sig)) + fake_sig
+        )
+        got = []
+        client.lookup(target, got.append)
+        mallory.send_udp(client.host.ip, AKD_PORT, client._port, response)
+        sim.run(until=2.0)
+        # The forged response was discarded; the honest one (or the
+        # timeout) resolved the lookup with a verified key.
+        assert client.bad_responses >= 1
+        assert got and (got[0] is None or got[0] == KP2.public)

@@ -1,0 +1,129 @@
+"""Defense-in-depth: multiple schemes coexisting on one LAN.
+
+The analysis's practical recommendation is layering — e.g. DAI at the
+switch plus a monitor for what the switch cannot judge, or static
+entries for the gateway plus a host agent for everything else.  These
+tests prove the schemes compose without fighting each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.mac_flood import MacFlood
+from repro.attacks.mitm import MitmAttack
+from repro.attacks.port_steal import PortStealing
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address
+from repro.schemes import make_scheme
+from repro.stack.os_profiles import WINDOWS_XP
+
+
+@pytest.fixture
+def rig(sim):
+    lan = Lan(sim)
+    lan.add_monitor()
+    victim = lan.add_host("victim", profile=WINDOWS_XP)
+    peer = lan.add_host("peer")
+    mallory = lan.add_host("mallory")
+    protected = [victim, peer, lan.gateway, lan.monitor]
+    return lan, victim, peer, mallory, protected
+
+
+def run_mitm(sim, lan, victim, mallory, until):
+    victim.ping(lan.gateway.ip)
+    sim.run(until=sim.now + 2.0)
+    mitm = MitmAttack(mallory, victim, lan.gateway)
+    mitm.start()
+    cancel = sim.call_every(0.5, lambda: victim.ping(lan.gateway.ip))
+    sim.run(until=until)
+    mitm.stop()
+    cancel()
+    return mitm
+
+
+class TestLayeredDefenses:
+    def test_dai_plus_hybrid(self, sim, rig):
+        """Prevention at the switch + confirmation at the monitor."""
+        lan, victim, peer, mallory, protected = rig
+        dai = make_scheme("dai", arp_rate_limit=None)
+        hybrid = make_scheme("hybrid")
+        dai.install(lan, protected=protected)
+        hybrid.install(lan, protected=protected)
+        mitm = run_mitm(sim, lan, victim, mallory, until=15.0)
+        # The switch stopped the poisoning...
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) == lan.gateway.mac
+        assert mitm.frames_relayed == 0
+        assert dai.arp_drops > 0
+        # ...and the monitor still saw the attempt on the mirror port.
+        assert any(a.severity != "info" for a in hybrid.alerts)
+
+    def test_port_security_plus_arpwatch_covers_both_layers(self, sim, rig):
+        """Port security alone misses poisoning; arpwatch alone misses
+        flooding-as-prevention; together each covers the other's hole."""
+        lan, victim, peer, mallory, protected = rig
+        ps = make_scheme("port-security")
+        aw = make_scheme("arpwatch")
+        ps.install(lan, protected=protected)
+        aw.install(lan, protected=protected)
+        # Give every port its sticky legitimate MAC.
+        mallory.ping(lan.gateway.ip)
+        victim.ping(lan.gateway.ip)
+        sim.run(until=2.0)
+        # Layer 1: MAC flood / port steal are stopped at the port.
+        flood = MacFlood(mallory, rate_per_second=1000, burst=20)
+        flood.start()
+        sim.run(until=3.0)
+        flood.stop()
+        assert not lan.switch.is_fail_open()
+        # Layer 2: poisoning passes the switch but trips the monitor.
+        mitm = run_mitm(sim, lan, victim, mallory, until=12.0)
+        assert mitm.frames_relayed > 0  # port security did not stop it
+        assert any(
+            a.kind in ("changed-ethernet-address", "flip-flop") for a in aw.alerts
+        )
+
+    def test_static_gateway_plus_middleware(self, sim, rig):
+        """Pin only the gateway binding; let the host agent watch the rest."""
+        lan, victim, peer, mallory, protected = rig
+        static = make_scheme(
+            "static-arp", bindings={lan.gateway.ip: lan.gateway.mac}
+        )
+        mw = make_scheme("middleware")
+        static.install(lan, protected=protected)
+        mw.install(lan, protected=protected)
+        mitm = run_mitm(sim, lan, victim, mallory, until=12.0)
+        # The gateway binding held (pinned)...
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) == lan.gateway.mac
+        # ...while the victim's binding in the *gateway's* cache was hit,
+        # and the middleware agent on the gateway saw it.
+        assert any(
+            a.kind == "cache-rebinding" and a.ip == victim.ip for a in mw.alerts
+        )
+
+    def test_guard_stacking_order_is_safe(self, sim, rig):
+        """Two host-guard schemes on the same hosts do not deadlock or
+        double-fire: Anticap (first opinion) shadows Antidote."""
+        lan, victim, peer, mallory, protected = rig
+        anticap = make_scheme("anticap")
+        antidote = make_scheme("antidote")
+        anticap.install(lan, protected=protected)
+        antidote.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        run_mitm(sim, lan, victim, mallory, until=10.0)
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) == lan.gateway.mac
+        # Anticap answered first; Antidote never needed to probe this one.
+        assert anticap.rejections > 0
+
+    def test_uninstall_one_layer_keeps_the_other(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        dai = make_scheme("dai", arp_rate_limit=None)
+        hybrid = make_scheme("hybrid")
+        dai.install(lan, protected=protected)
+        hybrid.install(lan, protected=protected)
+        dai.uninstall()
+        mitm = run_mitm(sim, lan, victim, mallory, until=12.0)
+        # Prevention gone: the attack lands, but detection still fires.
+        assert mitm.frames_relayed > 0
+        assert any(a.kind == "verified-poisoning" for a in hybrid.alerts)

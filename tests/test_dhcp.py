@@ -1,0 +1,172 @@
+"""Integration tests for DHCP server + client (DORA, renewal, exhaustion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DhcpError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address
+from repro.stack.dhcp_client import DhcpClient
+from repro.stack.dhcp_server import DhcpServer
+
+
+@pytest.fixture
+def dhcp_lan(sim):
+    lan = Lan(sim, network="10.0.3.0/24")
+    server = lan.enable_dhcp(pool_start=100, pool_end=110, lease_time=100.0)
+    return lan, server
+
+
+class TestDora:
+    def test_client_binds(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        host = lan.add_dhcp_host("client")
+        client = DhcpClient(host)
+        client.start()
+        sim.run(until=10.0)
+        assert client.binds == 1
+        assert host.ip is not None
+        assert host.ip in lan.network
+        assert host.gateway == lan.gateway.ip
+        assert server.leases[host.mac].ip == host.ip
+
+    def test_bound_host_announces_gratuitously(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        host = lan.add_dhcp_host("client")
+        DhcpClient(host).start()
+        sim.run(until=10.0)
+        assert host.counters["arp_tx"] >= 1  # the gratuitous announce
+
+    def test_multiple_clients_get_distinct_ips(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        clients = []
+        for i in range(5):
+            host = lan.add_dhcp_host(f"client-{i}")
+            client = DhcpClient(host)
+            client.start()
+            clients.append(client)
+        sim.run(until=20.0)
+        ips = {c.host.ip for c in clients}
+        assert len(ips) == 5
+        assert all(ip is not None for ip in ips)
+
+    def test_on_bound_callback(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        host = lan.add_dhcp_host("client")
+        bound = []
+        DhcpClient(host, on_bound=bound.append).start()
+        sim.run(until=10.0)
+        assert bound == [host.ip]
+
+    def test_renewal_keeps_same_ip(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        host = lan.add_dhcp_host("client")
+        client = DhcpClient(host)
+        client.start()
+        sim.run(until=10.0)
+        first_ip = host.ip
+        sim.run(until=70.0)  # past T1 = 50s
+        assert client.binds >= 2
+        assert host.ip == first_ip
+
+    def test_release_returns_address_to_pool(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        host = lan.add_dhcp_host("client")
+        client = DhcpClient(host)
+        client.start()
+        sim.run(until=10.0)
+        free_before = server.free_addresses
+        client.release()
+        sim.run(until=12.0)
+        assert server.free_addresses == free_before + 1
+
+    def test_reassignment_gives_released_ip_to_next_client(self, sim, dhcp_lan):
+        """The classic arpwatch false-positive source."""
+        lan, server = dhcp_lan
+        first = lan.add_dhcp_host("first")
+        c1 = DhcpClient(first)
+        c1.start()
+        sim.run(until=10.0)
+        ip = first.ip
+        c1.release()
+        first.nic.shut()
+        sim.run(until=12.0)
+        second = lan.add_dhcp_host("second")
+        DhcpClient(second).start()
+        sim.run(until=22.0)
+        assert second.ip == ip
+        assert second.mac != first.mac
+
+
+class TestPoolExhaustion:
+    def test_pool_exhaustion_starves_new_clients(self, sim, dhcp_lan):
+        lan, server = dhcp_lan  # pool of 11 addresses
+        clients = []
+        for i in range(11):
+            host = lan.add_dhcp_host(f"c{i}")
+            client = DhcpClient(host)
+            client.start()
+            clients.append(client)
+        sim.run(until=30.0)
+        assert server.is_exhausted
+        late = lan.add_dhcp_host("late")
+        late_client = DhcpClient(late, retry_timeout=2.0, max_retries=2)
+        late_client.start()
+        sim.run(until=45.0)
+        assert late_client.binds == 0
+        assert late_client.failures == 1
+        assert server.pool_exhausted_events > 0
+
+    def test_lease_expiry_recovers_pool(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        host = lan.add_dhcp_host("client")
+        client = DhcpClient(host)
+        client.start()
+        sim.run(until=10.0)
+        client._renew_cancel()  # the client vanishes without releasing
+        assert server.free_addresses == 10
+        sim.run(until=200.0)  # lease_time = 100
+        assert server.free_addresses == 11
+
+
+class TestServerValidation:
+    def test_server_requires_static_ip(self, sim):
+        lan = Lan(sim, network="10.0.3.0/24")
+        host = lan.add_dhcp_host("no-ip")
+        with pytest.raises(DhcpError):
+            DhcpServer(host, lan.network, 1, 10, router=lan.gateway.ip)
+
+    def test_bad_pool_rejected(self, sim):
+        lan = Lan(sim, network="10.0.3.0/24")
+        with pytest.raises(DhcpError):
+            DhcpServer(lan.gateway, lan.network, 200, 100, router=lan.gateway.ip)
+
+    def test_nak_on_bogus_request(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        host = lan.add_dhcp_host("client")
+        client = DhcpClient(host)
+        client.start()
+        sim.run(until=10.0)
+        # Forge a request for an out-of-subnet address under a fresh xid.
+        from repro.packets.dhcp import DhcpMessage
+
+        bad = DhcpMessage.request(
+            chaddr=host.mac,
+            xid=0xDEAD,
+            requested=Ipv4Address("172.16.0.5"),
+            server_id=lan.gateway.ip,
+        )
+        client.xid = 0xDEAD  # so the client would see the answer
+        client._send(bad)
+        sim.run(until=12.0)
+        assert server.naks_sent == 1
+
+    def test_ack_listeners_fire(self, sim, dhcp_lan):
+        lan, server = dhcp_lan
+        seen = []
+        server.ack_listeners.append(lambda mac, ip, lease: seen.append((mac, ip)))
+        host = lan.add_dhcp_host("client")
+        DhcpClient(host).start()
+        sim.run(until=10.0)
+        assert seen and seen[0][0] == host.mac

@@ -1,0 +1,221 @@
+"""Tests for the extension features: port stealing, DARPI, DAI rate limiting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.arp_poison import ArpPoisoner, PoisonTarget
+from repro.attacks.port_steal import PortStealing
+from repro.errors import AttackError
+from repro.l2.topology import Lan
+from repro.net.addresses import MacAddress
+from repro.schemes.dai import DynamicArpInspection
+from repro.schemes.darpi import DarpiHostInspection
+from repro.schemes.port_security import PortSecurity
+from repro.stack.os_profiles import WINDOWS_XP
+
+
+@pytest.fixture
+def rig(sim):
+    lan = Lan(sim)
+    victim = lan.add_host("victim", profile=WINDOWS_XP)
+    peer = lan.add_host("peer")
+    mallory = lan.add_host("mallory")
+    protected = [victim, peer, lan.gateway]
+    return lan, victim, peer, mallory, protected
+
+
+def poison(sim, mallory, victim, spoofed_ip, technique="reply", until=5.0):
+    poisoner = ArpPoisoner(
+        mallory,
+        [
+            PoisonTarget(
+                victim_ip=victim.ip,
+                victim_mac=victim.mac,
+                spoofed_ip=spoofed_ip,
+                claimed_mac=mallory.mac,
+            )
+        ],
+        technique=technique,
+    )
+    poisoner.start()
+    sim.run(until=until)
+    poisoner.stop()
+    return poisoner
+
+
+class TestPortStealing:
+    def test_steals_victim_unicast(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        # Teach the switch where everyone is.
+        victim.ping(peer.ip)
+        sim.run(until=1.0)
+        steal = PortStealing(mallory, [victim.mac], burst=5, interval=0.02)
+        steal.start()
+        # Peer sends to the victim; the switch now believes victim.mac
+        # lives on mallory's port.
+        replies = []
+        cancel = sim.call_every(
+            0.2, lambda: peer.ping(victim.ip, on_reply=lambda s, r: replies.append(s))
+        )
+        sim.run(until=3.0)
+        steal.stop()
+        cancel()
+        assert steal.frames_captured > 0  # traffic for the victim reached mallory
+        assert replies == []  # and the victim never answered
+
+    def test_victim_recovers_after_attack(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        victim.ping(peer.ip)
+        sim.run(until=1.0)
+        steal = PortStealing(mallory, [victim.mac], burst=5, interval=0.02)
+        steal.start()
+        sim.run(until=2.0)
+        steal.stop()
+        # The victim talks again, re-teaching the switch.
+        replies = []
+        victim.ping(peer.ip)
+        sim.run(until=3.0)
+        peer.ping(victim.ip, on_reply=lambda s, r: replies.append(s))
+        sim.run(until=4.0)
+        assert replies == [victim.ip]
+
+    def test_defeats_arp_payload_defenses(self, sim, rig):
+        """Nothing in any ARP payload is false, so DAI has nothing to veto."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection(arp_rate_limit=None)
+        scheme.install(lan, protected=protected)
+        victim.ping(peer.ip)
+        sim.run(until=1.0)
+        steal = PortStealing(mallory, [victim.mac], burst=5, interval=0.02)
+        steal.start()
+        cancel = sim.call_every(0.2, lambda: peer.ping(victim.ip))
+        sim.run(until=3.0)
+        steal.stop()
+        cancel()
+        assert steal.frames_captured > 0
+        assert scheme.arp_drops == 0  # DAI saw nothing wrong
+
+    def test_port_security_stops_it(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = PortSecurity()
+        scheme.install(lan, protected=protected)
+        # Everyone (including mallory's own box) talks first, so sticky
+        # learning pins each port to its legitimate NIC.
+        victim.ping(peer.ip)
+        mallory.ping(lan.gateway.ip)
+        sim.run(until=1.0)
+        steal = PortStealing(mallory, [victim.mac], burst=5, interval=0.02)
+        steal.start()
+        cancel = sim.call_every(0.2, lambda: peer.ping(victim.ip))
+        sim.run(until=3.0)
+        steal.stop()
+        cancel()
+        assert steal.frames_captured == 0
+        assert scheme.violations > 0
+
+    def test_config_validation(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        with pytest.raises(AttackError):
+            PortStealing(mallory, [])
+        with pytest.raises(AttackError):
+            PortStealing(mallory, [victim.mac], burst=0)
+
+
+class TestDarpi:
+    @pytest.mark.parametrize("technique", ["reply", "request", "gratuitous"])
+    def test_prevents_poisoning_variants(self, sim, rig, technique):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DarpiHostInspection()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=2.0)
+        poison(sim, mallory, victim, peer.ip, technique=technique, until=8.0)
+        assert victim.arp_cache.get(peer.ip, sim.now) != mallory.mac
+        assert scheme.unsolicited_blocked > 0
+
+    def test_cold_cache_still_protected(self, sim, rig):
+        """Unlike Anticap/Antidote, DARPI verifies even first claims."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = DarpiHostInspection()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, peer.ip, until=5.0)
+        # The forged claim triggered verification; the true owner answered.
+        assert victim.arp_cache.get(peer.ip, sim.now) == peer.mac
+
+    def test_legitimate_rebinding_works(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DarpiHostInspection()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=2.0)
+        peer.mac = MacAddress("02:aa:bb:cc:dd:ee")
+        peer.announce()
+        sim.run(until=5.0)
+        assert victim.arp_cache.get(peer.ip, sim.now) == peer.mac
+
+    def test_hosts_still_interoperate(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DarpiHostInspection()
+        scheme.install(lan, protected=protected)
+        replies = []
+        victim.ping(peer.ip, on_reply=lambda s, r: replies.append(s))
+        sim.run(until=3.0)
+        assert replies == [peer.ip]
+
+    def test_verification_traffic_counted(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DarpiHostInspection()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, peer.ip, until=3.0)
+        assert scheme.verifications_sent > 0
+        assert scheme.messages_sent == scheme.verifications_sent
+
+
+class TestDaiRateLimit:
+    def test_arp_flood_err_disables_port(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection(arp_rate_limit=15.0)
+        scheme.install(lan, protected=protected)
+        # An aggressive poisoner blows straight through 15 pps.
+        poisoner = ArpPoisoner(
+            mallory,
+            [
+                PoisonTarget(
+                    victim_ip=victim.ip,
+                    victim_mac=victim.mac,
+                    spoofed_ip=peer.ip,
+                    claimed_mac=mallory.mac,
+                )
+            ],
+            technique="reply",
+            interval=0.01,
+        )
+        poisoner.start()
+        sim.run(until=5.0)
+        poisoner.stop()
+        assert scheme.rate_limited_drops > 0
+        assert scheme.ports_err_disabled == 1
+        assert not lan.switch.ports[lan.port_of("mallory")].up
+        assert any(a.kind == "arp-rate-limit" for a in scheme.alerts)
+
+    def test_normal_arp_rates_unaffected(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection(arp_rate_limit=15.0)
+        scheme.install(lan, protected=protected)
+        replies = []
+        cancel = sim.call_every(
+            0.5, lambda: victim.ping(peer.ip, on_reply=lambda s, r: replies.append(s))
+        )
+        sim.run(until=10.0)
+        cancel()
+        assert scheme.rate_limited_drops == 0
+        assert len(replies) >= 15
+
+    def test_rate_limit_disabled(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection(arp_rate_limit=None)
+        scheme.install(lan, protected=protected)
+        poisoner = poison(sim, mallory, victim, peer.ip, until=3.0)
+        assert scheme.rate_limited_drops == 0
+        assert lan.switch.ports[lan.port_of("mallory")].up

@@ -1,0 +1,139 @@
+"""Virtual-IP failover vs the defense schemes.
+
+A failover's gratuitous ARP is byte-identical to a gratuitous
+poisoning; these tests pin down which schemes break the legitimate case
+and which absorb it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.l2.topology import Lan
+from repro.schemes import make_scheme
+from repro.stack.os_profiles import LINUX
+from repro.workloads.failover import VirtualIpPair
+
+
+@pytest.fixture
+def cluster(sim):
+    lan = Lan(sim)
+    lan.add_monitor()
+    client = lan.add_host("client", profile=LINUX)
+    pair = VirtualIpPair(lan, virtual_ip=50)
+    sim.run(until=1.0)
+    return lan, client, pair
+
+
+def client_ping_vip(sim, client, pair, expect: bool):
+    replies = []
+    client.ping(pair.virtual_ip, on_reply=lambda s, r: replies.append(s))
+    sim.run(until=sim.now + 3.0)
+    if expect:
+        assert replies == [pair.virtual_ip]
+    else:
+        assert replies == []
+
+
+class TestFailoverWorks:
+    def test_clients_follow_clean_failover(self, sim, cluster):
+        lan, client, pair = cluster
+        client_ping_vip(sim, client, pair, expect=True)
+        old_mac = pair.serving_mac
+        pair.failover(clean=True)
+        sim.run(until=sim.now + 1.0)
+        # The client's cache was updated by the gratuitous announcement.
+        assert client.arp_cache.get(pair.virtual_ip, sim.now) == pair.serving_mac
+        assert pair.serving_mac != old_mac
+        client_ping_vip(sim, client, pair, expect=True)
+
+    def test_crash_failover_also_recovers_service(self, sim, cluster):
+        lan, client, pair = cluster
+        client_ping_vip(sim, client, pair, expect=True)
+        pair.failover(clean=False)
+        sim.run(until=sim.now + 1.0)
+        client_ping_vip(sim, client, pair, expect=True)
+
+
+class TestSchemesVsFailover:
+    def test_anticap_breaks_failover(self, sim, cluster):
+        """The analysis's warning made concrete: Anticap keeps the stale
+        binding and the client loses the service until expiry."""
+        lan, client, pair = cluster
+        scheme = make_scheme("anticap")
+        scheme.install(lan, protected=[client, lan.gateway])
+        client_ping_vip(sim, client, pair, expect=True)
+        old_mac = pair.serving_mac
+        pair.failover(clean=False)
+        sim.run(until=sim.now + 1.0)
+        assert client.arp_cache.get(pair.virtual_ip, sim.now) == old_mac
+        client_ping_vip(sim, client, pair, expect=False)  # service lost
+
+    def test_static_entries_break_failover(self, sim, cluster):
+        lan, client, pair = cluster
+        scheme = make_scheme(
+            "static-arp", bindings={pair.virtual_ip: pair.serving_mac}
+        )
+        scheme.install(lan, protected=[client])
+        pair.failover(clean=True)
+        sim.run(until=sim.now + 1.0)
+        client_ping_vip(sim, client, pair, expect=False)
+
+    def test_antidote_allows_crash_failover(self, sim, cluster):
+        """Antidote probes the old owner; a crashed node stays silent and
+        the takeover is accepted."""
+        lan, client, pair = cluster
+        scheme = make_scheme("antidote")
+        scheme.install(lan, protected=[client, lan.gateway])
+        client_ping_vip(sim, client, pair, expect=True)
+        pair.failover(clean=False)
+        sim.run(until=sim.now + 2.0)
+        assert client.arp_cache.get(pair.virtual_ip, sim.now) == pair.serving_mac
+        client_ping_vip(sim, client, pair, expect=True)
+
+    def test_darpi_allows_failover(self, sim, cluster):
+        lan, client, pair = cluster
+        scheme = make_scheme("darpi")
+        scheme.install(lan, protected=[client, lan.gateway])
+        client_ping_vip(sim, client, pair, expect=True)
+        pair.failover(clean=True)
+        sim.run(until=sim.now + 2.0)
+        client_ping_vip(sim, client, pair, expect=True)
+
+    def test_hybrid_stays_quiet_on_clean_failover(self, sim, cluster):
+        """The old owner relinquished the VIP, so the verification probe
+        goes unanswered and the hybrid accepts the change silently."""
+        lan, client, pair = cluster
+        scheme = make_scheme("hybrid")
+        scheme.install(lan, protected=[client, lan.gateway, lan.monitor])
+        client_ping_vip(sim, client, pair, expect=True)
+        pair.failover(clean=True)
+        sim.run(until=sim.now + 3.0)
+        actionable = [a for a in scheme.alerts if a.severity != "info"]
+        assert actionable == []
+
+    def test_arpwatch_pages_on_every_failover(self, sim, cluster):
+        """Passive monitors cannot tell failover from poisoning."""
+        lan, client, pair = cluster
+        scheme = make_scheme("arpwatch")
+        scheme.install(lan, protected=[client, lan.gateway, lan.monitor])
+        client_ping_vip(sim, client, pair, expect=True)
+        pair.failover(clean=True)
+        sim.run(until=sim.now + 2.0)
+        assert any(
+            a.kind in ("changed-ethernet-address", "flip-flop")
+            for a in scheme.alerts
+        )
+
+    def test_dai_with_stale_bindings_blocks_failover(self, sim, cluster):
+        """DAI provisioned the VIP to node A; the takeover's gratuitous
+        ARP contradicts the table and is dropped — until re-provisioning."""
+        lan, client, pair = cluster
+        scheme = make_scheme("dai", arp_rate_limit=None)
+        scheme.install(lan, protected=[client, lan.gateway])
+        client_ping_vip(sim, client, pair, expect=True)
+        old_mac = pair.serving_mac
+        pair.failover(clean=True)
+        sim.run(until=sim.now + 2.0)
+        assert scheme.arp_drops > 0
+        assert client.arp_cache.get(pair.virtual_ip, sim.now) == old_mac

@@ -1,0 +1,153 @@
+"""Failure injection: what breaks when infrastructure pieces die.
+
+These exercise the availability costs the analysis attributes to each
+scheme — the AKD as S-ARP's single point of failure, the mirror port as
+every monitor's lifeline, and recovery behaviour after attacks stop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.mitm import MitmAttack
+from repro.l2.topology import Lan
+from repro.schemes import make_scheme
+from repro.stack.os_profiles import WINDOWS_XP
+
+
+@pytest.fixture
+def rig(sim):
+    lan = Lan(sim)
+    lan.add_monitor()
+    victim = lan.add_host("victim", profile=WINDOWS_XP)
+    peer = lan.add_host("peer")
+    mallory = lan.add_host("mallory")
+    protected = [victim, peer, lan.gateway, lan.monitor]
+    return lan, victim, peer, mallory, protected
+
+
+class TestAkdOutage:
+    def test_sarp_first_contact_fails_without_akd(self, sim, rig):
+        """S-ARP's single point of failure: no AKD, no *new* resolutions."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = make_scheme("s-arp")
+        scheme.install(lan, protected=protected)
+        sim.run(until=1.0)
+        lan.hosts["sarp-akd"].nic.shut()  # the AKD goes dark
+        failures = []
+        victim.resolve(
+            peer.ip, on_resolved=lambda m: pytest.fail("must not resolve"),
+            on_failed=lambda: failures.append(1),
+        )
+        sim.run(until=10.0)
+        assert failures == [1]
+
+    def test_sarp_cached_keys_survive_akd_outage(self, sim, rig):
+        """...but already-fetched keys keep working (the cache matters)."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = make_scheme("s-arp")
+        scheme.install(lan, protected=protected)
+        got = []
+        victim.resolve(peer.ip, on_resolved=got.append)
+        sim.run(until=5.0)
+        assert got == [peer.mac]
+        lan.hosts["sarp-akd"].nic.shut()
+        victim.arp_cache.age_out(peer.ip)
+        got.clear()
+        victim.resolve(peer.ip, on_resolved=got.append)
+        sim.run(until=10.0)
+        assert got == [peer.mac]  # key already cached; no AKD needed
+
+    def test_tarp_untouched_by_infrastructure_loss(self, sim, rig):
+        """TARP's offline tickets have no runtime dependency to kill."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = make_scheme("tarp")
+        scheme.install(lan, protected=protected)
+        sim.run(until=1.0)
+        # Nothing to shut down: verify a fresh resolution works anyway.
+        got = []
+        victim.resolve(peer.ip, on_resolved=got.append)
+        sim.run(until=5.0)
+        assert got == [peer.mac]
+
+
+class TestMonitorLoss:
+    def test_detector_goes_blind_when_mirror_dies(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = make_scheme("hybrid")
+        scheme.install(lan, protected=protected)
+        victim.ping(lan.gateway.ip)
+        sim.run(until=2.0)
+        lan.monitor.nic.shut()  # mirror cable pulled
+        mitm = MitmAttack(mallory, victim, lan.gateway)
+        mitm.start()
+        sim.run(until=12.0)
+        mitm.stop()
+        actionable = [a for a in scheme.alerts if a.severity != "info"]
+        assert actionable == []  # nobody watched
+        # ...and the attack of course still worked.
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) == mallory.mac
+
+    def test_host_resident_detection_survives_monitor_loss(self, sim, rig):
+        """Middleware's placement advantage: it needs no mirror port."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = make_scheme("middleware")
+        scheme.install(lan, protected=protected)
+        victim.ping(lan.gateway.ip)
+        sim.run(until=2.0)
+        lan.monitor.nic.shut()
+        mitm = MitmAttack(mallory, victim, lan.gateway)
+        mitm.start()
+        sim.run(until=12.0)
+        mitm.stop()
+        assert any(a.severity == "critical" for a in scheme.alerts)
+
+
+class TestRecovery:
+    def test_victim_recovers_after_attack_stops(self, sim, rig):
+        """Once re-poisoning ceases, the truth re-establishes itself on the
+        next genuine exchange (XP accepts the gateway's later replies)."""
+        lan, victim, peer, mallory, protected = rig
+        victim.ping(lan.gateway.ip)
+        sim.run(until=2.0)
+        mitm = MitmAttack(mallory, victim, lan.gateway)
+        mitm.start()
+        sim.run(until=8.0)
+        mitm.stop()
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) == mallory.mac
+        # Entry expires (60 s); the next resolution gets the truth.
+        sim.run(until=70.0)
+        replies = []
+        victim.ping(lan.gateway.ip, on_reply=lambda s, r: replies.append(s))
+        sim.run(until=72.0)
+        assert replies == [lan.gateway.ip]
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) == lan.gateway.mac
+
+    def test_attacker_link_death_ends_interception(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        victim.ping(lan.gateway.ip)
+        sim.run(until=2.0)
+        mitm = MitmAttack(mallory, victim, lan.gateway)
+        mitm.start()
+        cancel = sim.call_every(0.5, lambda: victim.ping(lan.gateway.ip))
+        sim.run(until=6.0)
+        relayed_before = mitm.frames_relayed
+        assert relayed_before > 0
+        mallory.nic.shut()  # the attacker's box drops off the network
+        sim.run(until=12.0)
+        cancel()
+        # No forwarding happens once the NIC is down: count frozen.
+        assert mitm.frames_relayed == relayed_before
+
+    def test_poisoned_entry_expires_naturally(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        victim.ping(lan.gateway.ip)
+        sim.run(until=2.0)
+        mitm = MitmAttack(mallory, victim, lan.gateway)
+        mitm.start()
+        sim.run(until=5.0)
+        mitm.stop()
+        mallory.nic.shut()
+        # After the cache timeout with no refresh, the entry is gone.
+        sim.run(until=70.0)
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) is None

@@ -1,0 +1,138 @@
+"""Multi-switch topologies: trunking, and where switch defenses go blind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.arp_poison import ArpPoisoner, PoisonTarget
+from repro.errors import TopologyError
+from repro.l2.topology import Lan
+from repro.schemes.dai import DynamicArpInspection
+from repro.schemes.port_security import PortSecurity
+from repro.stack.os_profiles import WINDOWS_XP
+
+
+@pytest.fixture
+def two_segment_lan(sim):
+    """Managed core switch + a secondary access switch on a trunk."""
+    lan = Lan(sim)
+    lan.add_switch("switch2", num_ports=8)
+    core_host = lan.add_host("core-host")
+    edge_victim = lan.add_host("edge-victim", profile=WINDOWS_XP, switch="switch2")
+    edge_attacker = lan.add_host("edge-attacker", switch="switch2")
+    return lan, core_host, edge_victim, edge_attacker
+
+
+def poison(sim, attacker, victim, spoofed_ip, until=5.0):
+    poisoner = ArpPoisoner(
+        attacker,
+        [
+            PoisonTarget(
+                victim_ip=victim.ip,
+                victim_mac=victim.mac,
+                spoofed_ip=spoofed_ip,
+                claimed_mac=attacker.mac,
+            )
+        ],
+        technique="reply",
+    )
+    poisoner.start()
+    sim.run(until=until)
+    poisoner.stop()
+    return poisoner
+
+
+class TestTrunking:
+    def test_cross_segment_connectivity(self, sim, two_segment_lan):
+        lan, core_host, edge_victim, edge_attacker = two_segment_lan
+        replies = []
+        core_host.ping(edge_victim.ip, on_reply=lambda s, r: replies.append(s))
+        edge_victim.ping(lan.gateway.ip, on_reply=lambda s, r: replies.append(s))
+        sim.run(until=3.0)
+        assert len(replies) == 2
+
+    def test_duplicate_switch_name_rejected(self, sim):
+        lan = Lan(sim)
+        lan.add_switch("switch2")
+        with pytest.raises(TopologyError):
+            lan.add_switch("switch2")
+
+    def test_attachment_bookkeeping(self, sim, two_segment_lan):
+        lan, core_host, edge_victim, edge_attacker = two_segment_lan
+        assert lan.attachment_of["core-host"][0] == "switch1"
+        assert lan.attachment_of["edge-victim"][0] == "switch2"
+        with pytest.raises(TopologyError):
+            lan.port_of("edge-victim")
+
+    def test_trunk_port_recorded(self, sim, two_segment_lan):
+        lan, *_ = two_segment_lan
+        assert len(lan.trunk_ports) == 1
+
+    def test_both_switches_learn(self, sim, two_segment_lan):
+        lan, core_host, edge_victim, edge_attacker = two_segment_lan
+        core_host.ping(edge_victim.ip)
+        sim.run(until=2.0)
+        switch2 = lan.switches["switch2"]
+        # The edge switch learned both stations; the core sees the edge
+        # stations behind its trunk port.
+        assert len(switch2.cam) >= 2
+        trunk_port = next(iter(lan.trunk_ports))
+        assert lan.switch.cam.lookup(edge_victim.mac, sim.now) == trunk_port
+
+
+class TestDefenseBoundaries:
+    def test_dai_blind_to_intra_segment_poisoning(self, sim, two_segment_lan):
+        """The analysis's deployment caveat, demonstrated: DAI on the core
+        cannot see frames that never leave the unmanaged edge switch."""
+        lan, core_host, edge_victim, edge_attacker = two_segment_lan
+        scheme = DynamicArpInspection()
+        scheme.install(
+            lan, protected=[core_host, edge_victim, lan.gateway]
+        )
+        # Warm the edge segment so switch2 knows the victim's port and
+        # unicast forgeries never cross the trunk.
+        edge_victim.ping(edge_attacker.ip)
+        sim.run(until=1.0)
+        poison(sim, edge_attacker, edge_victim, core_host.ip)
+        # Poisoning succeeded: the forged replies went edge->edge only.
+        assert edge_victim.arp_cache.get(core_host.ip, sim.now) == edge_attacker.mac
+        assert scheme.arp_drops == 0
+
+    def test_dai_still_guards_the_boundary(self, sim, two_segment_lan):
+        """...but an edge attacker lying *across* the trunk is caught."""
+        lan, core_host, edge_victim, edge_attacker = two_segment_lan
+        scheme = DynamicArpInspection(arp_rate_limit=None)
+        scheme.install(
+            lan, protected=[core_host, edge_victim, lan.gateway]
+        )
+        poison(sim, edge_attacker, core_host, edge_victim.ip)
+        assert core_host.arp_cache.get(edge_victim.ip, sim.now) != edge_attacker.mac
+        assert scheme.arp_drops > 0
+
+    def test_trunk_exempt_from_rate_limit(self, sim, two_segment_lan):
+        lan, core_host, edge_victim, edge_attacker = two_segment_lan
+        scheme = DynamicArpInspection(arp_rate_limit=15.0)
+        scheme.install(lan, protected=[core_host, edge_victim, lan.gateway])
+        # Aggressive but *legit* ARP load from the edge segment.
+        cancel = sim.call_every(0.02, lambda: (
+            edge_victim.arp_cache.age_out(lan.gateway.ip),
+            edge_victim.resolve(lan.gateway.ip, on_resolved=lambda m: None),
+        ))
+        sim.run(until=3.0)
+        cancel()
+        trunk_port = next(iter(lan.trunk_ports))
+        assert lan.switch.ports[trunk_port].up
+        assert scheme.ports_err_disabled == 0
+
+    def test_port_security_trusts_trunk(self, sim, two_segment_lan):
+        lan, core_host, edge_victim, edge_attacker = two_segment_lan
+        scheme = PortSecurity(max_macs_per_port=1)
+        scheme.install(lan, protected=[core_host, edge_victim, lan.gateway])
+        # Two edge stations talk across the trunk: both MACs appear on the
+        # trunk port, which must not count as a violation.
+        replies = []
+        edge_victim.ping(lan.gateway.ip, on_reply=lambda s, r: replies.append(1))
+        edge_attacker.ping(core_host.ip, on_reply=lambda s, r: replies.append(1))
+        sim.run(until=3.0)
+        assert len(replies) == 2
+        assert scheme.violations == 0

@@ -1,0 +1,126 @@
+"""Tests for bounded neighbor tables and the exhaustion attack."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.attacks.neighbor_exhaustion import NeighborExhaustion
+from repro.errors import AttackError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.stack.arp_cache import ArpCache, BindingSource
+from repro.stack.os_profiles import LINUX, WINDOWS_XP
+
+M = lambda n: MacAddress(0x020000000000 | n)
+IP = lambda n: Ipv4Address(0x0A000000 | n)
+
+
+class TestBoundedCache:
+    def test_capacity_evicts_lru_dynamic(self):
+        cache = ArpCache(default_timeout=100.0, capacity=3)
+        for i in range(1, 4):
+            cache.put(IP(i), M(i), now=float(i), source=BindingSource.REQUEST)
+        cache.put(IP(4), M(4), now=4.0, source=BindingSource.REQUEST)
+        assert len(cache) == 3
+        assert cache.get(IP(1), now=4.0) is None  # oldest evicted
+        assert cache.get(IP(4), now=4.0) == M(4)
+        assert cache.evictions == 1
+
+    def test_expired_entries_evicted_before_live_ones(self):
+        cache = ArpCache(default_timeout=10.0, capacity=2)
+        cache.put(IP(1), M(1), now=0.0, source=BindingSource.REQUEST)
+        cache.put(IP(2), M(2), now=9.0, source=BindingSource.REQUEST)
+        cache.put(IP(3), M(3), now=11.0, source=BindingSource.REQUEST)  # 1 expired
+        assert cache.get(IP(2), now=11.0) == M(2)
+        assert cache.get(IP(3), now=11.0) == M(3)
+        assert cache.evictions == 0
+
+    def test_static_entries_never_evicted(self):
+        cache = ArpCache(default_timeout=100.0, capacity=2)
+        cache.pin(IP(1), M(1))
+        cache.put(IP(2), M(2), now=0.0, source=BindingSource.REQUEST)
+        cache.put(IP(3), M(3), now=1.0, source=BindingSource.REQUEST)
+        assert cache.get(IP(1), now=2.0) == M(1)  # pin survived
+        assert cache.get(IP(2), now=2.0) is None  # dynamic paid the price
+
+    def test_refresh_does_not_evict(self):
+        cache = ArpCache(default_timeout=100.0, capacity=2)
+        cache.put(IP(1), M(1), now=0.0, source=BindingSource.REQUEST)
+        cache.put(IP(2), M(2), now=1.0, source=BindingSource.REQUEST)
+        cache.put(IP(1), M(1), now=2.0, source=BindingSource.REQUEST)  # refresh
+        assert len(cache) == 2
+        assert cache.evictions == 0
+
+    def test_unbounded_by_default(self):
+        cache = ArpCache()
+        for i in range(1, 500):
+            cache.put(IP(i), M(i), now=0.0, source=BindingSource.REQUEST)
+        assert len(cache) == 499
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ArpCache(capacity=0)
+
+
+class TestNeighborExhaustion:
+    @pytest.fixture
+    def small_table_lan(self, sim):
+        lan = Lan(sim)
+        profile = replace(WINDOWS_XP, neighbor_table_size=32)
+        victim = lan.add_host("victim", profile=profile)
+        mallory = lan.add_host("mallory")
+        return lan, victim, mallory
+
+    def test_gateway_binding_evicted(self, sim, small_table_lan):
+        lan, victim, mallory = small_table_lan
+        victim.ping(lan.gateway.ip)
+        sim.run(until=1.0)
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) is not None
+        attack = NeighborExhaustion(mallory, rate_per_second=500, burst=50)
+        attack.start()
+        sim.run(until=3.0)
+        attack.stop()
+        assert victim.arp_cache.evictions > 0
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) is None
+
+    def test_table_never_exceeds_bound(self, sim, small_table_lan):
+        lan, victim, mallory = small_table_lan
+        attack = NeighborExhaustion(mallory, rate_per_second=500, burst=50)
+        attack.start()
+        sim.run(until=3.0)
+        attack.stop()
+        assert len(victim.arp_cache) <= 32
+
+    def test_linux_policy_not_filled_by_gratuitous(self, sim):
+        """Stacks that refuse to create from gratuitous don't fill up."""
+        lan = Lan(sim)
+        profile = replace(LINUX, neighbor_table_size=32)
+        victim = lan.add_host("victim", profile=profile)
+        mallory = lan.add_host("mallory")
+        victim.ping(lan.gateway.ip)
+        sim.run(until=1.0)
+        attack = NeighborExhaustion(mallory, rate_per_second=500, burst=50)
+        attack.start()
+        sim.run(until=3.0)
+        attack.stop()
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) is not None
+        assert victim.arp_cache.evictions == 0
+
+    def test_pinned_gateway_survives_exhaustion(self, sim, small_table_lan):
+        """Static entries double as exhaustion protection for the pins."""
+        lan, victim, mallory = small_table_lan
+        victim.arp_cache.pin(lan.gateway.ip, lan.gateway.mac)
+        attack = NeighborExhaustion(mallory, rate_per_second=500, burst=50)
+        attack.start()
+        sim.run(until=3.0)
+        attack.stop()
+        assert victim.arp_cache.get(lan.gateway.ip, sim.now) == lan.gateway.mac
+
+    def test_requires_subnet(self, sim):
+        from repro.stack.host import Host
+
+        bare = Host(sim, "bare", mac=M(1))
+        with pytest.raises(AttackError):
+            NeighborExhaustion(bare)

@@ -1,0 +1,100 @@
+"""Unit tests for the DHCP codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodecError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.dhcp import DhcpMessage, DhcpMessageType, DhcpOption
+
+MAC = MacAddress("02:48:33:66:02:51")
+SERVER = Ipv4Address("192.168.88.1")
+OFFERED = Ipv4Address("192.168.88.130")
+MASK = Ipv4Address("255.255.255.0")
+
+
+class TestDhcpCodec:
+    def test_discover_roundtrip(self):
+        msg = DhcpMessage.discover(chaddr=MAC, xid=0x643C9869)
+        decoded = DhcpMessage.decode(msg.encode())
+        assert decoded.message_type == DhcpMessageType.DISCOVER
+        assert decoded.chaddr == MAC
+        assert decoded.xid == 0x643C9869
+        assert decoded.is_request_op
+
+    def test_offer_roundtrip(self):
+        msg = DhcpMessage.offer(
+            chaddr=MAC, xid=1, yiaddr=OFFERED, server_id=SERVER,
+            lease_time=600, netmask=MASK, router=SERVER,
+        )
+        decoded = DhcpMessage.decode(msg.encode())
+        assert decoded.message_type == DhcpMessageType.OFFER
+        assert decoded.yiaddr == OFFERED
+        assert decoded.server_id == SERVER
+        assert decoded.lease_time == 600
+        assert decoded.router == SERVER
+        assert decoded.is_reply_op
+
+    def test_request_roundtrip(self):
+        msg = DhcpMessage.request(chaddr=MAC, xid=2, requested=OFFERED, server_id=SERVER)
+        decoded = DhcpMessage.decode(msg.encode())
+        assert decoded.message_type == DhcpMessageType.REQUEST
+        assert decoded.requested_ip == OFFERED
+
+    def test_ack_roundtrip(self):
+        msg = DhcpMessage.ack(
+            chaddr=MAC, xid=3, yiaddr=OFFERED, server_id=SERVER,
+            lease_time=300, netmask=MASK, router=SERVER,
+        )
+        decoded = DhcpMessage.decode(msg.encode())
+        assert decoded.message_type == DhcpMessageType.ACK
+
+    def test_nak_roundtrip(self):
+        msg = DhcpMessage.nak(chaddr=MAC, xid=4, server_id=SERVER)
+        assert DhcpMessage.decode(msg.encode()).message_type == DhcpMessageType.NAK
+
+    def test_release_roundtrip(self):
+        msg = DhcpMessage.release(chaddr=MAC, xid=5, ciaddr=OFFERED, server_id=SERVER)
+        decoded = DhcpMessage.decode(msg.encode())
+        assert decoded.message_type == DhcpMessageType.RELEASE
+        assert decoded.ciaddr == OFFERED
+
+    def test_missing_magic_rejected(self):
+        raw = bytearray(DhcpMessage.discover(chaddr=MAC, xid=1).encode())
+        raw[236] = 0x00  # corrupt the magic cookie
+        with pytest.raises(CodecError):
+            DhcpMessage.decode(bytes(raw))
+
+    def test_unknown_options_preserved(self):
+        msg = DhcpMessage.discover(chaddr=MAC, xid=1)
+        msg.options[200] = b"custom"
+        decoded = DhcpMessage.decode(msg.encode())
+        assert decoded.options[200] == b"custom"
+
+    def test_pad_options_skipped_on_decode(self):
+        raw = bytearray(DhcpMessage.discover(chaddr=MAC, xid=1).encode())
+        # insert PAD before END
+        end_index = raw.rindex(DhcpOption.END)
+        raw[end_index:end_index] = bytes([DhcpOption.PAD, DhcpOption.PAD])
+        decoded = DhcpMessage.decode(bytes(raw))
+        assert decoded.message_type == DhcpMessageType.DISCOVER
+
+    def test_option_too_long_rejected(self):
+        msg = DhcpMessage.discover(chaddr=MAC, xid=1)
+        msg.options[50] = b"x" * 256
+        with pytest.raises(CodecError):
+            msg.encode()
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(CodecError):
+            DhcpMessage(op=9, xid=1, chaddr=MAC)
+
+    def test_message_type_names(self):
+        assert DhcpMessageType.name(1) == "discover"
+        assert DhcpMessageType.name(5) == "ack"
+
+    def test_summary(self):
+        msg = DhcpMessage.discover(chaddr=MAC, xid=0xABCD)
+        assert "discover" in msg.summary()
+        assert "0x0000abcd" in msg.summary()

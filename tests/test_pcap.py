@@ -1,0 +1,119 @@
+"""Tests for pcap export/import."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.analysis.forensics import OfflineArpAnalyzer
+from repro.analysis.pcap import PCAP_MAGIC, read_pcap, write_pcap
+from repro.attacks.mitm import MitmAttack
+from repro.errors import CodecError
+from repro.l2.topology import Lan
+from repro.sim.trace import Direction, TraceRecord
+from repro.stack.os_profiles import WINDOWS_XP
+
+
+def make_records():
+    return [
+        TraceRecord(time=1.5, location="a", direction=Direction.RX, frame=b"\xaa" * 60),
+        TraceRecord(time=0.25, location="b", direction=Direction.TX, frame=b"\xbb" * 80),
+        TraceRecord(time=2.000001, location="c", direction=Direction.RX, frame=b"\xcc" * 64),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        count = write_pcap(make_records(), path)
+        assert count == 3
+        back = read_pcap(path)
+        assert len(back) == 3
+        # sorted by time on write
+        assert [round(r.time, 6) for r in back] == [0.25, 1.5, 2.000001]
+        assert back[0].frame == b"\xbb" * 80
+
+    def test_global_header_fields(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        write_pcap(make_records(), path)
+        raw = path.read_bytes()
+        magic, major, minor, _, _, snaplen, linktype = struct.unpack(
+            "<IHHiIII", raw[:24]
+        )
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        assert linktype == 1  # Ethernet
+
+    def test_snaplen_truncation(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        write_pcap(make_records(), path, snaplen=32)
+        back = read_pcap(path)
+        assert all(len(r.frame) == 32 for r in back)
+
+    def test_empty_capture(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        assert write_pcap([], path) == 0
+        assert read_pcap(path) == []
+
+    def test_big_endian_read(self, tmp_path):
+        path = tmp_path / "be.pcap"
+        header = struct.pack(">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 1)
+        body = struct.pack(">IIII", 3, 500000, 4, 4) + b"abcd"
+        path.write_bytes(header + body)
+        back = read_pcap(path)
+        assert len(back) == 1
+        assert back[0].time == pytest.approx(3.5)
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.pcap"
+        path.write_bytes(b"\x00" * 40)
+        with pytest.raises(CodecError):
+            read_pcap(path)
+
+    def test_short_file_rejected(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(CodecError):
+            read_pcap(path)
+
+    def test_non_ethernet_rejected(self, tmp_path):
+        path = tmp_path / "wifi.pcap"
+        path.write_bytes(struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 105))
+        with pytest.raises(CodecError):
+            read_pcap(path)
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        header = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 1)
+        path.write_bytes(header + struct.pack("<IIII", 0, 0, 100, 100) + b"xy")
+        with pytest.raises(CodecError):
+            read_pcap(path)
+
+
+class TestEndToEnd:
+    def test_capture_export_analyze(self, sim, tmp_path):
+        """Simulate an attack, export the mirror capture to pcap, read it
+        back, and find the attack offline — the full forensics loop."""
+        lan = Lan(sim)
+        monitor = lan.add_monitor()
+        victim = lan.add_host("victim", profile=WINDOWS_XP)
+        mallory = lan.add_host("mallory")
+        victim.ping(lan.gateway.ip)
+        sim.run(until=3.0)
+        mitm = MitmAttack(mallory, victim, lan.gateway)
+        mitm.start()
+        sim.run(until=12.0)
+        mitm.stop()
+
+        path = tmp_path / "incident.pcap"
+        count = write_pcap(monitor.recorder.records, path)
+        assert count == len(monitor.recorder.records)
+        replayed = read_pcap(path)
+        summary = OfflineArpAnalyzer(
+            known_bindings=lan.true_bindings()
+        ).analyze(replayed)
+        violations = summary.findings_of("known-binding-violation")
+        assert violations and all(f.mac == mallory.mac for f in violations)

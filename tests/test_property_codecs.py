@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis): codec round-trips and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import Ipv4Address, Ipv4Network, MacAddress
+from repro.packets.arp import ArpExtension, ArpOp, ArpPacket, SARP_MAGIC, TARP_MAGIC
+from repro.packets.base import internet_checksum
+from repro.packets.dhcp import DhcpMessage
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.icmp import IcmpMessage
+from repro.packets.ipv4 import Ipv4Packet
+from repro.packets.tcp import TcpSegment
+from repro.packets.udp import UdpDatagram
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MacAddress)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1).map(Ipv4Address)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+payloads = st.binary(max_size=200)
+
+
+@given(macs)
+def test_mac_string_roundtrip(mac):
+    assert MacAddress(str(mac)) == mac
+
+
+@given(macs)
+def test_mac_bytes_roundtrip(mac):
+    assert MacAddress(mac.packed) == mac
+
+
+@given(ips)
+def test_ipv4_string_roundtrip(ip):
+    assert Ipv4Address(str(ip)) == ip
+
+
+@given(st.integers(min_value=0, max_value=32), ips)
+def test_network_contains_its_own_hosts(prefix, ip):
+    mask = Ipv4Network._mask_for(prefix)
+    net = Ipv4Network(f"{Ipv4Address(int(ip) & mask)}/{prefix}")
+    assert ip in net
+
+
+@given(st.binary(max_size=300))
+def test_checksum_self_verifies(data):
+    import struct
+
+    csum = internet_checksum(data)
+    padded = data if len(data) % 2 == 0 else data + b"\x00"
+    assert internet_checksum(padded + struct.pack("!H", csum)) == 0
+
+
+@given(macs, macs, st.integers(min_value=0x0600, max_value=0xFFFF), payloads)
+def test_ethernet_roundtrip(dst, src, ethertype, payload):
+    frame = EthernetFrame(dst=dst, src=src, ethertype=ethertype, payload=payload)
+    decoded = EthernetFrame.decode(frame.encode())
+    assert decoded.dst == dst and decoded.src == src
+    assert decoded.ethertype == ethertype
+    assert decoded.payload[: len(payload)] == payload  # padding may follow
+
+
+@given(
+    st.sampled_from([ArpOp.REQUEST, ArpOp.REPLY]),
+    macs,
+    ips,
+    macs,
+    ips,
+    st.one_of(
+        st.none(),
+        st.tuples(st.sampled_from([SARP_MAGIC, TARP_MAGIC]), st.binary(max_size=100)),
+    ),
+)
+def test_arp_roundtrip(op, sha, spa, tha, tpa, ext):
+    extension = None if ext is None else ArpExtension(magic=ext[0], payload=ext[1])
+    packet = ArpPacket(op=op, sha=sha, spa=spa, tha=tha, tpa=tpa, extension=extension)
+    decoded = ArpPacket.decode(packet.encode())
+    assert decoded == packet
+
+
+@given(ips, ips, st.integers(min_value=0, max_value=255), payloads,
+       st.integers(min_value=1, max_value=255))
+def test_ipv4_roundtrip(src, dst, proto, payload, ttl):
+    packet = Ipv4Packet(src=src, dst=dst, proto=proto, payload=payload, ttl=ttl)
+    decoded = Ipv4Packet.decode(packet.encode())
+    assert decoded.src == src and decoded.dst == dst
+    assert decoded.proto == proto and decoded.payload == payload
+    assert decoded.ttl == ttl
+
+
+@given(ports, ports, payloads, ips, ips)
+def test_udp_roundtrip_checksummed(sport, dport, payload, src, dst):
+    datagram = UdpDatagram(sport, dport, payload)
+    decoded = UdpDatagram.decode(datagram.encode(src, dst), src, dst)
+    assert decoded == datagram
+
+
+@given(
+    ports,
+    ports,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFF),
+    payloads,
+)
+def test_tcp_roundtrip(sport, dport, seq, ack, flags, payload):
+    segment = TcpSegment(sport, dport, seq, ack, flags, payload)
+    assert TcpSegment.decode(segment.encode()) == segment
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+    payloads,
+)
+def test_icmp_echo_roundtrip(identifier, sequence, payload):
+    msg = IcmpMessage.echo_request(identifier, sequence, payload)
+    decoded = IcmpMessage.decode(msg.encode())
+    assert decoded.identifier == identifier
+    assert decoded.sequence == sequence
+    assert decoded.payload == payload
+
+
+@given(macs, st.integers(min_value=0, max_value=0xFFFFFFFF), ips, ips)
+@settings(max_examples=50)
+def test_dhcp_roundtrip(mac, xid, requested, server):
+    msg = DhcpMessage.request(chaddr=mac, xid=xid, requested=requested, server_id=server)
+    decoded = DhcpMessage.decode(msg.encode())
+    assert decoded.chaddr == mac
+    assert decoded.xid == xid
+    assert decoded.requested_ip == requested
+    assert decoded.server_id == server
+
+
+@given(st.binary(max_size=60))
+def test_arp_decode_never_crashes_unexpectedly(data):
+    """Arbitrary bytes either decode or raise CodecError — nothing else."""
+    from repro.errors import CodecError
+
+    try:
+        ArpPacket.decode(data)
+    except CodecError:
+        pass
+
+
+@given(st.binary(max_size=60))
+def test_ethernet_decode_never_crashes_unexpectedly(data):
+    from repro.errors import CodecError
+
+    try:
+        EthernetFrame.decode(data)
+    except CodecError:
+        pass

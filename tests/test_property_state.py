@@ -1,0 +1,157 @@
+"""Property-based tests on the stateful substrates (CAM, ARP cache, sim)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.l2.cam import CamTable
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.sim.simulator import Simulator
+from repro.stack.arp_cache import ArpCache, BindingSource
+
+macs = st.integers(min_value=1, max_value=200).map(
+    lambda n: MacAddress(0x020000000000 | n)
+)
+ips = st.integers(min_value=1, max_value=200).map(
+    lambda n: Ipv4Address(0x0A000000 | n)
+)
+ports = st.integers(min_value=0, max_value=15)
+times = st.floats(min_value=0, max_value=1e4, allow_nan=False)
+
+
+class CamMachine(RuleBasedStateMachine):
+    """CAM table never exceeds capacity and lookups reflect learns."""
+
+    def __init__(self):
+        super().__init__()
+        self.cam = CamTable(capacity=8, aging=100.0)
+        self.now = 0.0
+        self.model: dict = {}  # mac -> (port, expiry) for non-static
+
+    @rule(mac=macs, port=ports, dt=st.floats(min_value=0, max_value=50))
+    def learn(self, mac, port, dt):
+        self.now += dt
+        accepted = self.cam.learn(mac, port, now=self.now)
+        if accepted and not mac.is_multicast:
+            self.model[mac] = (port, self.now + 100.0)
+
+    @rule(mac=macs, dt=st.floats(min_value=0, max_value=50))
+    def lookup(self, mac, dt):
+        self.now += dt
+        got = self.cam.lookup(mac, now=self.now)
+        expected = self.model.get(mac)
+        if expected is not None and expected[1] > self.now:
+            assert got == expected[0]
+        else:
+            assert got is None
+            self.model.pop(mac, None)
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.cam) <= self.cam.capacity
+
+    @invariant()
+    def utilization_in_unit_interval(self):
+        assert 0.0 <= self.cam.utilization() <= 1.0
+
+
+TestCamMachine = CamMachine.TestCase
+
+
+class ArpCacheMachine(RuleBasedStateMachine):
+    """Static pins always win; dynamic entries mirror the last accepted put."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = ArpCache(default_timeout=50.0)
+        self.now = 0.0
+        self.static: dict = {}
+        self.dynamic: dict = {}  # ip -> (mac, expiry)
+
+    @rule(ip=ips, mac=macs, dt=st.floats(min_value=0, max_value=20))
+    def put(self, ip, mac, dt):
+        self.now += dt
+        accepted = self.cache.put(
+            ip, mac, now=self.now, source=BindingSource.SOLICITED_REPLY
+        )
+        if ip in self.static:
+            assert not accepted
+        else:
+            assert accepted
+            self.dynamic[ip] = (mac, self.now + 50.0)
+
+    @rule(ip=ips, mac=macs)
+    def pin(self, ip, mac):
+        self.cache.pin(ip, mac, now=self.now)
+        self.static[ip] = mac
+        self.dynamic.pop(ip, None)
+
+    @rule(ip=ips, dt=st.floats(min_value=0, max_value=20))
+    def get(self, ip, dt):
+        self.now += dt
+        got = self.cache.get(ip, now=self.now)
+        if ip in self.static:
+            assert got == self.static[ip]
+        elif ip in self.dynamic:
+            mac, expiry = self.dynamic[ip]
+            if expiry > self.now:
+                assert got == mac
+            else:
+                assert got is None
+                del self.dynamic[ip]
+        else:
+            assert got is None
+
+    @rule(ip=ips)
+    def unpin(self, ip):
+        self.cache.unpin(ip)
+        self.static.pop(ip, None)
+
+    @invariant()
+    def history_is_time_ordered(self):
+        times_seen = [c.time for c in self.cache.history]
+        assert times_seen == sorted(times_seen)
+
+
+TestArpCacheMachine = ArpCacheMachine.TestCase
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False),
+                  st.integers(min_value=0, max_value=1000)),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=50)
+def test_simulator_fires_in_nondecreasing_time_order(jobs):
+    sim = Simulator(seed=1)
+    fired = []
+    for delay, payload in jobs:
+        sim.schedule(delay, lambda p=payload: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(jobs)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10, allow_nan=False),
+                min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_call_every_cancellation_is_complete(intervals):
+    """No periodic task fires after its canceller runs."""
+    sim = Simulator(seed=2)
+    counts = [0] * len(intervals)
+    cancels = []
+    for i, interval in enumerate(intervals):
+        cancels.append(
+            sim.call_every(interval, lambda i=i: counts.__setitem__(i, counts[i] + 1))
+        )
+    sim.run(until=5.0)
+    for cancel in cancels:
+        cancel()
+    snapshot = list(counts)
+    sim.run(until=50.0)
+    assert counts == snapshot

@@ -1,0 +1,84 @@
+"""Public-API surface checks: exports exist, errors are catchable, docs hold."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro import errors
+
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.net",
+    "repro.packets",
+    "repro.l2",
+    "repro.stack",
+    "repro.crypto",
+    "repro.attacks",
+    "repro.schemes",
+    "repro.core",
+    "repro.workloads",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_packages_have_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), name
+
+
+def test_public_classes_and_functions_are_documented():
+    undocumented = []
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{name}.{symbol}")
+    assert undocumented == []
+
+
+def test_error_hierarchy_is_rooted():
+    exception_types = [
+        obj
+        for obj in vars(errors).values()
+        if inspect.isclass(obj) and issubclass(obj, Exception)
+    ]
+    assert len(exception_types) >= 15
+    for exc in exception_types:
+        assert issubclass(exc, errors.ReproError), exc
+
+def test_library_errors_are_catchable_as_repro_error():
+    from repro.net.addresses import MacAddress
+
+    with pytest.raises(errors.ReproError):
+        MacAddress("garbage")
+    from repro.packets.arp import ArpPacket
+
+    with pytest.raises(errors.ReproError):
+        ArpPacket.decode(b"\x00")
+
+
+def test_version_is_pep440_ish():
+    major, minor, patch = repro.__version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))
+
+
+def test_top_level_quickstart_names():
+    for name in ("Simulator", "Lan", "Host", "make_scheme", "table_1_criteria"):
+        assert hasattr(repro, name)

@@ -1,0 +1,109 @@
+"""Tests for the deployment recommendation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.recommend import Deployment, recommend
+
+
+class TestConstraints:
+    def test_default_home_network(self):
+        """DHCP home LAN, no managed switch, no infra: host schemes only."""
+        env = Deployment(
+            uses_dhcp=True,
+            can_modify_hosts=True,
+            has_managed_switches=False,
+            can_run_infrastructure=False,
+        )
+        rec = recommend(env)
+        keys = {p.key for p in rec.suitable}
+        assert "anticap" in keys and "antidote" in keys and "darpi" in keys
+        assert "dai" not in keys  # no managed switch
+        assert "s-arp" not in keys  # no infrastructure
+        assert "static-arp" not in keys  # DHCP network
+        assert "arpwatch" not in keys  # no monitor station
+
+    def test_enterprise_with_managed_switches(self):
+        env = Deployment(
+            uses_dhcp=True,
+            can_modify_hosts=False,  # BYOD
+            has_managed_switches=True,
+            can_run_infrastructure=True,
+        )
+        rec = recommend(env)
+        keys = {p.key for p in rec.suitable}
+        assert "dai" in keys
+        assert "port-security" in keys
+        assert "hybrid" in keys
+        assert "s-arp" not in keys  # cannot touch the hosts
+        assert rec.best.key == "dai"  # full prevention coverage wins
+
+    def test_prevention_requirement_excludes_detectors(self):
+        env = Deployment(
+            has_managed_switches=True,
+            can_run_infrastructure=True,
+            want_prevention=True,
+        )
+        rec = recommend(env)
+        assert all(p.kind == "prevention" for p in rec.suitable)
+        assert "hybrid" in rec.rejected
+
+    def test_budget_ceiling(self):
+        env = Deployment(
+            can_run_infrastructure=True,
+            has_managed_switches=True,
+            max_cost="low",
+        )
+        rec = recommend(env)
+        assert all(p.cost in ("free", "low") for p in rec.suitable)
+        assert "s-arp" in rec.rejected
+        assert any("budget" in r for r in rec.rejected["s-arp"])
+
+    def test_static_network_allows_static_arp(self):
+        env = Deployment(uses_dhcp=False, max_cost="free")
+        rec = recommend(env)
+        keys = {p.key for p in rec.suitable}
+        assert "static-arp" in keys
+
+    def test_impossible_environment(self):
+        env = Deployment(
+            uses_dhcp=True,
+            can_modify_hosts=False,
+            has_managed_switches=False,
+            can_run_infrastructure=False,
+        )
+        rec = recommend(env)
+        assert rec.suitable == ()
+        assert rec.best is None
+        assert len(rec.rejected) == 13
+
+    def test_rejection_reasons_are_explanatory(self):
+        env = Deployment(can_modify_hosts=False, can_run_infrastructure=False)
+        rec = recommend(env)
+        for key, reasons in rec.rejected.items():
+            assert reasons, key
+            assert all(isinstance(r, str) and r for r in reasons)
+
+    def test_render(self):
+        rec = recommend(Deployment(has_managed_switches=True))
+        text = rec.render()
+        assert "Suitable" in text or "No scheme" in text
+        assert "Rejected:" in text
+
+    def test_bad_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment(max_cost="infinite")
+
+    def test_ranking_prefers_coverage_then_cost(self):
+        env = Deployment(
+            uses_dhcp=True,
+            can_modify_hosts=True,
+            has_managed_switches=True,
+            can_run_infrastructure=True,
+        )
+        rec = recommend(env)
+        keys = [p.key for p in rec.suitable]
+        # Full-prevention schemes first; port security (all '-') last.
+        assert keys[-1] == "port-security"
+        assert keys[0] in ("s-arp", "tarp", "dai")

@@ -1,0 +1,85 @@
+"""Tests for the report generators (tiny parameters; shape checks only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ScenarioConfig
+from repro.core.report import (
+    figure_1_detection_latency,
+    figure_2_overhead,
+    figure_3_resolution_latency,
+    figure_4_interception,
+    table_2_effectiveness,
+    table_3_false_positives,
+    table_4_footprint,
+)
+
+FAST = ScenarioConfig(n_hosts=3, warmup=2.0, attack_duration=10.0, cooldown=1.0)
+
+
+class TestTables:
+    def test_table_2_small(self):
+        artifact = table_2_effectiveness(
+            schemes=["static-arp", "arpwatch"], config=FAST
+        )
+        assert artifact.artifact_id == "T2"
+        labels = [row[0] for row in artifact.rows]
+        assert labels == ["none", "static-arp", "arpwatch"]
+        assert "verdict" in artifact.header
+        assert artifact.csv.startswith("Scheme,")
+
+    def test_table_3_small(self):
+        artifact = table_3_false_positives(schemes=["hybrid"], duration=300.0)
+        assert artifact.artifact_id == "T3"
+        assert len(artifact.rows) == 1
+        assert artifact.rows[0][0] == "hybrid"
+
+    def test_table_4_small(self):
+        artifact = table_4_footprint(schemes=["arpwatch"], host_counts=(4, 8))
+        assert artifact.artifact_id == "T4"
+        row = artifact.rows[0]
+        assert row[0] == "arpwatch"
+        assert row[1] <= row[2]  # state grows with hosts
+
+
+class TestFigures:
+    def test_figure_1_small(self):
+        artifact = figure_1_detection_latency(
+            rates=(1.0, 5.0), schemes=("arpwatch",)
+        )
+        assert artifact.artifact_id == "F1"
+        assert len(artifact.rows) == 2
+        assert all(row[1] is not None for row in artifact.rows)
+
+    def test_figure_2_small(self):
+        artifact = figure_2_overhead(host_counts=(4,), schemes=(None, "tarp"))
+        assert artifact.artifact_id == "F2"
+        assert artifact.header == ["hosts", "plain-arp", "tarp"]
+        plain, tarp = artifact.rows[0][1], artifact.rows[0][2]
+        assert plain > 0 and tarp > 0
+
+    def test_figure_3_small(self):
+        artifact = figure_3_resolution_latency(
+            n_resolutions=5, schemes=(None, "tarp")
+        )
+        assert artifact.artifact_id == "F3"
+        assert [row[0] for row in artifact.rows] == ["plain-arp", "tarp"]
+        assert artifact.rows[0][3] == "1.00x"  # plain vs itself
+
+    def test_figure_4_small(self):
+        artifact = figure_4_interception(
+            schemes=(None,), duration=40.0, attack_at=10.0
+        )
+        assert artifact.artifact_id == "F4"
+        ratios = [row[1] for row in artifact.rows]
+        assert ratios[0] == 0.0
+        assert max(ratios) > 0.5
+
+    def test_artifact_csv_roundtrip_shape(self):
+        artifact = figure_3_resolution_latency(
+            n_resolutions=5, schemes=(None,)
+        )
+        lines = artifact.csv.strip().splitlines()
+        assert len(lines) == 1 + len(artifact.rows)
+        assert lines[0].count(",") == len(artifact.header) - 1

@@ -1,0 +1,173 @@
+"""Tests for the scheme framework itself: alerts, dedup, lifecycle, registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.schemes.base import Alert, Scheme, SchemeProfile, Severity
+from repro.schemes.registry import SCHEME_FACTORIES, all_profiles, make_scheme
+
+IP = Ipv4Address("10.0.0.1")
+MAC = MacAddress("02:00:00:00:00:01")
+
+
+class NullScheme(Scheme):
+    """Minimal concrete scheme for framework testing."""
+
+    profile = SchemeProfile(
+        key="null",
+        display_name="Null scheme",
+        kind="detection",
+        placement="monitor",
+        requires_infra_change=False,
+        requires_host_change=False,
+        requires_crypto=False,
+        supports_dhcp_networks=True,
+        cost="free",
+        limitations=("does nothing",),
+        reference="test fixture",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.torn_down = 0
+
+    def _install(self, lan, protected):
+        self._on_teardown(self._count_teardown)
+        self._on_teardown(self._count_teardown)
+
+    def _count_teardown(self):
+        self.torn_down += 1
+
+
+class TestAlerts:
+    def test_alert_rendering(self):
+        alert = Alert(
+            time=1.5, scheme="x", severity=Severity.CRITICAL, kind="boom",
+            ip=IP, mac=MAC, message="details",
+        )
+        text = str(alert)
+        assert "CRITICAL" in text and "boom" in text and "10.0.0.1" in text
+
+    def test_raise_alert_collects(self):
+        scheme = NullScheme()
+        scheme.raise_alert(1.0, Severity.WARNING, "k")
+        assert len(scheme.alerts) == 1
+
+    def test_dedup_window_suppresses_repeats(self):
+        scheme = NullScheme()
+        for t in (1.0, 2.0, 3.0):
+            scheme.raise_alert(t, Severity.WARNING, "k", ip=IP, mac=MAC,
+                               dedup_window=10.0)
+        assert len(scheme.alerts) == 1
+        assert scheme.suppressed_alerts == 2
+
+    def test_dedup_window_reopens(self):
+        scheme = NullScheme()
+        scheme.raise_alert(1.0, Severity.WARNING, "k", ip=IP, dedup_window=10.0)
+        scheme.raise_alert(12.0, Severity.WARNING, "k", ip=IP, dedup_window=10.0)
+        assert len(scheme.alerts) == 2
+
+    def test_dedup_distinguishes_subjects(self):
+        scheme = NullScheme()
+        scheme.raise_alert(1.0, Severity.WARNING, "k", ip=IP, dedup_window=10.0)
+        scheme.raise_alert(1.0, Severity.WARNING, "k",
+                           ip=Ipv4Address("10.0.0.2"), dedup_window=10.0)
+        assert len(scheme.alerts) == 2
+
+    def test_explicit_dedup_key(self):
+        scheme = NullScheme()
+        for mac_tail in (1, 2, 3):
+            scheme.raise_alert(
+                1.0, Severity.WARNING, "k",
+                mac=MacAddress(mac_tail), dedup_window=10.0,
+                dedup_key=("k", "port-7"),
+            )
+        assert len(scheme.alerts) == 1
+
+    def test_alerts_between(self):
+        scheme = NullScheme()
+        scheme.raise_alert(1.0, Severity.INFO, "a")
+        scheme.raise_alert(5.0, Severity.INFO, "b")
+        assert [a.kind for a in scheme.alerts_between(0.0, 2.0)] == ["a"]
+
+
+class TestLifecycle:
+    def test_install_uninstall(self, sim):
+        lan = Lan(sim)
+        scheme = NullScheme()
+        scheme.install(lan)
+        assert scheme.installed
+        scheme.uninstall()
+        assert not scheme.installed
+        assert scheme.torn_down == 2  # both teardown callbacks ran
+
+    def test_double_install_rejected(self, sim):
+        lan = Lan(sim)
+        scheme = NullScheme()
+        scheme.install(lan)
+        with pytest.raises(SchemeError):
+            scheme.install(lan)
+
+    def test_uninstall_idempotent(self, sim):
+        lan = Lan(sim)
+        scheme = NullScheme()
+        scheme.install(lan)
+        scheme.uninstall()
+        scheme.uninstall()
+        assert scheme.torn_down == 2
+
+    def test_reinstall_after_uninstall(self, sim):
+        lan = Lan(sim)
+        scheme = NullScheme()
+        scheme.install(lan)
+        scheme.uninstall()
+        scheme.install(lan)
+        assert scheme.installed
+
+    def test_default_protected_excludes_unaddressed(self, sim):
+        lan = Lan(sim)
+        lan.add_host("a")
+        lan.add_dhcp_host("pending")
+        hosts = Scheme._default_hosts(lan)
+        assert {h.name for h in hosts} == {"gateway", "a"}
+
+
+class TestRegistry:
+    def test_make_scheme_by_key(self):
+        scheme = make_scheme("arpwatch")
+        assert scheme.profile.key == "arpwatch"
+
+    def test_make_scheme_with_kwargs(self):
+        scheme = make_scheme("hybrid", probe_timeout=0.25)
+        assert scheme.probe_timeout == 0.25
+
+    def test_unknown_key_lists_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_scheme("warp-drive")
+        assert "arpwatch" in str(excinfo.value)
+
+    def test_profiles_have_unique_keys(self):
+        keys = [p.key for p in all_profiles()]
+        assert len(keys) == len(set(keys))
+
+    def test_factories_match_profiles(self):
+        assert set(SCHEME_FACTORIES) == {p.key for p in all_profiles()}
+
+    def test_every_scheme_instantiates_with_defaults(self):
+        for key in SCHEME_FACTORIES:
+            scheme = make_scheme(key)
+            assert scheme.profile.key == key
+            assert not scheme.installed
+
+    def test_every_scheme_installs_and_uninstalls(self, sim):
+        lan = Lan(sim)
+        lan.add_monitor()
+        lan.add_host("a")
+        for key in SCHEME_FACTORIES:
+            scheme = make_scheme(key)
+            scheme.install(lan)
+            scheme.uninstall()

@@ -1,0 +1,231 @@
+"""Tests for host-resident schemes: static entries, Anticap, Antidote, middleware."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.arp_poison import ArpPoisoner, PoisonTarget
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.schemes.anticap import Anticap
+from repro.schemes.antidote import Antidote
+from repro.schemes.middleware import HostMiddleware
+from repro.schemes.static_entries import StaticArpEntries
+from repro.stack.os_profiles import WINDOWS_XP
+
+
+@pytest.fixture
+def rig(sim):
+    lan = Lan(sim)
+    victim = lan.add_host("victim", profile=WINDOWS_XP)
+    peer = lan.add_host("peer")
+    mallory = lan.add_host("mallory")
+    protected = [victim, peer, lan.gateway]
+    return lan, victim, peer, mallory, protected
+
+
+def poison(sim, mallory, victim, spoofed_ip, technique="reply", until=5.0):
+    poisoner = ArpPoisoner(
+        mallory,
+        [
+            PoisonTarget(
+                victim_ip=victim.ip,
+                victim_mac=victim.mac,
+                spoofed_ip=spoofed_ip,
+                claimed_mac=mallory.mac,
+            )
+        ],
+        technique=technique,
+    )
+    poisoner.start()
+    sim.run(until=until)
+    poisoner.stop()
+    return poisoner
+
+
+class TestStaticArpEntries:
+    def test_pinned_bindings_resist_poisoning(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = StaticArpEntries()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, peer.ip)
+        assert victim.arp_cache.get(peer.ip, sim.now) == peer.mac
+
+    def test_explicit_bindings_override_inventory(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        fake_mac = MacAddress("02:12:34:56:78:9a")
+        scheme = StaticArpEntries(bindings={peer.ip: fake_mac})
+        scheme.install(lan, protected=[victim])
+        assert victim.arp_cache.get(peer.ip, sim.now) == fake_mac
+
+    def test_own_ip_not_pinned(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = StaticArpEntries()
+        scheme.install(lan, protected=protected)
+        assert victim.ip not in victim.arp_cache
+
+    def test_uninstall_unpins(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = StaticArpEntries()
+        scheme.install(lan, protected=protected)
+        scheme.uninstall()
+        poison(sim, mallory, victim, peer.ip)
+        assert victim.arp_cache.get(peer.ip, sim.now) == mallory.mac
+
+    def test_state_size_counts_pins(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = StaticArpEntries()
+        scheme.install(lan, protected=protected)
+        # 3 protected hosts x (len(bindings)-1 own address skipped)
+        assert scheme.state_size() > 0
+
+    def test_double_install_rejected(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = StaticArpEntries()
+        scheme.install(lan, protected=protected)
+        from repro.errors import SchemeError
+
+        with pytest.raises(SchemeError):
+            scheme.install(lan, protected=protected)
+
+
+class TestAnticap:
+    def test_blocks_rebinding_of_warm_entry(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = Anticap()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        poison(sim, mallory, victim, peer.ip)
+        assert victim.arp_cache.get(peer.ip, sim.now) == peer.mac
+        assert scheme.rejections > 0
+
+    def test_cold_cache_blind_spot(self, sim, rig):
+        """Anticap's documented weakness: the first claim wins."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = Anticap()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, peer.ip)  # no prior entry
+        assert victim.arp_cache.get(peer.ip, sim.now) == mallory.mac
+
+    def test_blocks_legitimate_rebinding_too(self, sim, rig):
+        """The flip side: a real NIC swap is also refused until expiry."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = Anticap()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        old_mac = peer.mac
+        peer.mac = MacAddress("02:aa:bb:cc:dd:ee")
+        peer.announce()
+        sim.run(until=2.0)
+        assert victim.arp_cache.get(peer.ip, sim.now) == old_mac
+
+    def test_rejection_log_is_info_severity(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = Anticap()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        poison(sim, mallory, victim, peer.ip)
+        assert scheme.alerts
+        assert all(a.severity == "info" for a in scheme.alerts)
+
+
+class TestAntidote:
+    def test_blocks_when_old_owner_alive(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = Antidote()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        poison(sim, mallory, victim, peer.ip)
+        assert victim.arp_cache.get(peer.ip, sim.now) == peer.mac
+        assert scheme.attacks_blocked >= 1
+        assert scheme.probes_sent >= 1
+
+    def test_blacklists_attacker(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = Antidote()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        poison(sim, mallory, victim, peer.ip)
+        assert mallory.mac in scheme._blacklists[victim.name]
+
+    def test_allows_rebinding_when_old_owner_gone(self, sim, rig):
+        """Unlike Anticap, a genuine NIC swap goes through (after a probe)."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = Antidote()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        peer.mac = MacAddress("02:aa:bb:cc:dd:ee")  # old NIC gone
+        peer.announce()
+        sim.run(until=3.0)
+        assert victim.arp_cache.get(peer.ip, sim.now) == peer.mac
+        assert scheme.rebinds_allowed >= 1
+
+    def test_cold_cache_blind_spot(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = Antidote()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, peer.ip)
+        assert victim.arp_cache.get(peer.ip, sim.now) == mallory.mac
+
+    def test_alerts_on_blocked_attack(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = Antidote()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        poison(sim, mallory, victim, peer.ip)
+        assert any(a.kind == "poisoning-blocked" for a in scheme.alerts)
+        assert any(a.mac == mallory.mac for a in scheme.alerts)
+
+
+class TestHostMiddleware:
+    def test_detects_rebinding(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = HostMiddleware()
+        scheme.install(lan, protected=protected)
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        poison(sim, mallory, victim, peer.ip)
+        assert any(a.kind == "cache-rebinding" for a in scheme.alerts)
+        assert scheme.rebinds_seen >= 1
+
+    def test_gateway_rebinding_is_critical(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = HostMiddleware()
+        scheme.install(lan, protected=protected)
+        victim.ping(lan.gateway.ip)
+        sim.run(until=1.0)
+        poison(sim, mallory, victim, lan.gateway.ip)
+        crits = [a for a in scheme.alerts if a.severity == "critical"]
+        assert crits and crits[0].ip == lan.gateway.ip
+
+    def test_does_not_prevent(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = HostMiddleware()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, peer.ip)
+        assert victim.arp_cache.get(peer.ip, sim.now) == mallory.mac
+
+    def test_suspect_source_info_alert(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = HostMiddleware()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, Ipv4Address("192.168.88.200"))
+        infos = [a for a in scheme.alerts if a.kind == "suspect-binding-source"]
+        assert infos  # brand-new entry from an unsolicited reply
+
+    def test_uninstall_stops_listening(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = HostMiddleware()
+        scheme.install(lan, protected=protected)
+        scheme.uninstall()
+        victim.resolve(peer.ip, on_resolved=lambda m: None)
+        sim.run(until=1.0)
+        poison(sim, mallory, victim, peer.ip)
+        assert scheme.alerts == []

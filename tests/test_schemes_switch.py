@@ -1,0 +1,240 @@
+"""Tests for switch-resident schemes: port security and DAI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.arp_poison import ArpPoisoner, PoisonTarget
+from repro.attacks.dhcp_starvation import DhcpStarvation
+from repro.attacks.mac_flood import MacFlood
+from repro.attacks.rogue_dhcp import RogueDhcpServer
+from repro.l2.topology import Lan
+from repro.net.addresses import MacAddress
+from repro.schemes.dai import DynamicArpInspection
+from repro.schemes.port_security import (
+    PortSecurity,
+    VIOLATION_PROTECT,
+    VIOLATION_SHUTDOWN,
+)
+from repro.stack.dhcp_client import DhcpClient
+from repro.stack.os_profiles import WINDOWS_XP
+
+
+@pytest.fixture
+def rig(sim):
+    lan = Lan(sim)
+    victim = lan.add_host("victim", profile=WINDOWS_XP)
+    peer = lan.add_host("peer")
+    mallory = lan.add_host("mallory")
+    protected = [victim, peer, lan.gateway]
+    return lan, victim, peer, mallory, protected
+
+
+def poison(sim, mallory, victim, spoofed_ip, technique="reply", until=5.0):
+    poisoner = ArpPoisoner(
+        mallory,
+        [
+            PoisonTarget(
+                victim_ip=victim.ip,
+                victim_mac=victim.mac,
+                spoofed_ip=spoofed_ip,
+                claimed_mac=mallory.mac,
+            )
+        ],
+        technique=technique,
+    )
+    poisoner.start()
+    sim.run(until=until)
+    poisoner.stop()
+    return poisoner
+
+
+class TestPortSecurity:
+    def test_stops_mac_flooding(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = PortSecurity()
+        scheme.install(lan, protected=protected)
+        flood = MacFlood(mallory, rate_per_second=2000, burst=50)
+        flood.start()
+        sim.run(until=2.0)
+        flood.stop()
+        assert not lan.switch.is_fail_open()
+        assert len(lan.switch.cam) < 10
+        assert scheme.violations > 0
+
+    def test_does_not_stop_arp_poisoning(self, sim, rig):
+        """The analysis's key negative result for port security."""
+        lan, victim, peer, mallory, protected = rig
+        scheme = PortSecurity()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, peer.ip)
+        assert victim.arp_cache.get(peer.ip, sim.now) == mallory.mac
+
+    def test_legit_traffic_unaffected(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = PortSecurity()
+        scheme.install(lan, protected=protected)
+        replies = []
+        victim.ping(peer.ip, on_reply=lambda s, r: replies.append(s))
+        sim.run(until=2.0)
+        assert replies == [peer.ip]
+
+    def test_shutdown_mode_disables_port(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = PortSecurity(violation=VIOLATION_SHUTDOWN)
+        scheme.install(lan, protected=protected)
+        flood = MacFlood(mallory, rate_per_second=1000, burst=10)
+        flood.start()
+        sim.run(until=1.0)
+        flood.stop()
+        port = lan.switch.ports[lan.port_of("mallory")]
+        assert not port.up
+        assert scheme.ports_shut == 1
+
+    def test_protect_mode_is_silent(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = PortSecurity(violation=VIOLATION_PROTECT)
+        scheme.install(lan, protected=protected)
+        flood = MacFlood(mallory, rate_per_second=1000, burst=10)
+        flood.start()
+        sim.run(until=1.0)
+        flood.stop()
+        assert scheme.violations > 0
+        assert scheme.alerts == []
+
+    def test_trusted_ports_exempt(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = PortSecurity()
+        scheme.install(lan, protected=protected)
+        # The gateway port carries many MACs' worth of traffic legitimately
+        # in real deployments; here just assert it is marked trusted.
+        assert lan.port_of("gateway") in scheme._trusted
+
+    def test_invalid_violation_mode(self):
+        with pytest.raises(ValueError):
+            PortSecurity(violation="explode")
+
+
+class TestDynamicArpInspection:
+    @pytest.mark.parametrize("technique", ["reply", "request", "gratuitous"])
+    def test_poisoning_dropped_at_the_port(self, sim, rig, technique):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection()
+        scheme.install(lan, protected=protected)
+        poison(sim, mallory, victim, peer.ip, technique=technique)
+        assert victim.arp_cache.get(peer.ip, sim.now) != mallory.mac
+        assert scheme.arp_drops > 0
+        assert any(a.kind == "dai-drop" for a in scheme.alerts)
+
+    def test_legit_arp_passes(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection()
+        scheme.install(lan, protected=protected)
+        got = []
+        victim.resolve(peer.ip, on_resolved=got.append)
+        sim.run(until=2.0)
+        assert got == [peer.mac]
+
+    def test_dhcp_snooping_builds_bindings(self, sim):
+        lan = Lan(sim, network="10.0.3.0/24")
+        lan.enable_dhcp(pool_start=100, pool_end=120)
+        scheme = DynamicArpInspection()
+        scheme.install(lan, protected=[lan.gateway])
+        newbie = lan.add_dhcp_host("newbie")
+        DhcpClient(newbie).start()
+        sim.run(until=10.0)
+        assert scheme.leases_snooped == 1
+        assert newbie.ip in scheme.table
+        assert scheme.table[newbie.ip].mac == newbie.mac
+
+    def test_snooped_host_can_arp(self, sim):
+        lan = Lan(sim, network="10.0.3.0/24")
+        lan.enable_dhcp(pool_start=100, pool_end=120)
+        scheme = DynamicArpInspection()
+        scheme.install(lan, protected=[lan.gateway])
+        newbie = lan.add_dhcp_host("newbie")
+        DhcpClient(newbie).start()
+        sim.run(until=10.0)
+        other = lan.add_dhcp_host("other")
+        DhcpClient(other).start()
+        sim.run(until=20.0)
+        got = []
+        newbie.resolve(other.ip, on_resolved=got.append)
+        sim.run(until=25.0)
+        assert got == [other.mac]
+
+    def test_rogue_dhcp_server_blocked(self, sim):
+        lan = Lan(sim, network="10.0.3.0/24")
+        lan.enable_dhcp(pool_start=100, pool_end=120)
+        mallory = lan.add_host("mallory")
+        scheme = DynamicArpInspection()
+        scheme.install(lan, protected=[lan.gateway, mallory])
+        rogue = RogueDhcpServer(mallory, lan.network, pool_start=200, pool_end=210)
+        rogue.start()
+        dupe = lan.add_dhcp_host("dupe")
+        DhcpClient(dupe).start()
+        sim.run(until=15.0)
+        # The dupe bound via the *legitimate* server; the rogue's offers died
+        # at the switch.
+        assert dupe.gateway == lan.gateway.ip
+        assert scheme.rogue_dhcp_drops > 0
+        assert any(a.kind == "rogue-dhcp-drop" for a in scheme.alerts)
+
+    def test_unknown_sender_dropped_in_strict_mode(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection(
+            static_bindings={victim.ip: victim.mac, peer.ip: peer.mac,
+                             lan.gateway.ip: lan.gateway.mac}
+        )
+        scheme.install(lan, protected=protected)
+        # mallory's own (legit!) binding is not provisioned -> dropped.
+        failures = []
+        mallory.resolve(
+            victim.ip, on_resolved=lambda m: None,
+            on_failed=lambda: failures.append(1),
+        )
+        sim.run(until=10.0)
+        assert failures == [1]
+
+    def test_permissive_mode_allows_unknown_senders(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection(
+            static_bindings={victim.ip: victim.mac},
+            drop_unknown_senders=False,
+        )
+        scheme.install(lan, protected=protected)
+        got = []
+        mallory.resolve(victim.ip, on_resolved=got.append)
+        sim.run(until=5.0)
+        assert got == [victim.mac]
+
+    def test_trusted_port_bypasses_inspection(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection(static_bindings={})
+        scheme.install(lan, protected=protected)
+        # The gateway ARPs from a trusted port despite the empty table.
+        got = []
+        lan.gateway.resolve(victim.ip, on_resolved=got.append)
+        sim.run(until=5.0)
+        # Gateway's request passes (trusted); victim's reply is dropped
+        # (untrusted, empty table) -> resolution fails, proving asymmetry.
+        assert scheme.arp_drops > 0
+
+    def test_lease_expiry_removes_binding(self, sim):
+        lan = Lan(sim, network="10.0.3.0/24")
+        lan.enable_dhcp(pool_start=100, pool_end=120, lease_time=20.0)
+        scheme = DynamicArpInspection()
+        scheme.install(lan, protected=[lan.gateway])
+        newbie = lan.add_dhcp_host("newbie")
+        client = DhcpClient(newbie)
+        client.start()
+        sim.run(until=5.0)
+        binding = scheme.table[newbie.ip]
+        assert binding.active(sim.now)
+        assert not binding.active(sim.now + 100.0)
+
+    def test_state_size(self, sim, rig):
+        lan, victim, peer, mallory, protected = rig
+        scheme = DynamicArpInspection()
+        scheme.install(lan, protected=protected)
+        assert scheme.state_size() == len(lan.true_bindings())

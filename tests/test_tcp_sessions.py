@@ -1,0 +1,196 @@
+"""Tests for stateful TCP sessions and MITM session hijacking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.mitm import MitmAttack
+from repro.attacks.session_hijack import SessionHijacker
+from repro.errors import StackError
+from repro.l2.topology import Lan
+from repro.stack.tcp_session import TcpClient, TcpServer
+from repro.stack.os_profiles import WINDOWS_XP
+
+
+@pytest.fixture
+def www(sim):
+    """A client, an HTTP-ish echo server, and an attacker."""
+    lan = Lan(sim)
+    client_host = lan.add_host("client", profile=WINDOWS_XP)
+    server_host = lan.add_host("server")
+    mallory = lan.add_host("mallory")
+    requests = []
+    server = TcpServer(
+        server_host, 80,
+        on_data=lambda conn, data: (requests.append(data), conn.send(b"OK:" + data)),
+    )
+    return lan, client_host, server_host, mallory, server, requests
+
+
+class TestTcpSessions:
+    def test_handshake_establishes_both_ends(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        conn = TcpClient(client_host).connect(server_host.ip, 80)
+        sim.run(until=2.0)
+        assert conn.state == "established"
+        assert len(server.accepted) == 1
+        assert server.accepted[0].state == "established"
+
+    def test_request_response_exchange(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        responses = []
+        conn = TcpClient(client_host).connect(
+            server_host.ip, 80,
+            on_connected=lambda c: c.send(b"GET /index"),
+            on_data=lambda c, d: responses.append(d),
+        )
+        sim.run(until=2.0)
+        assert requests == [b"GET /index"]
+        assert responses == [b"OK:GET /index"]
+        assert conn.bytes_sent == len(b"GET /index")
+        assert conn.bytes_received == len(b"OK:GET /index")
+
+    def test_multiple_clients_multiplexed(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        other = lan.add_host("other")
+        TcpClient(client_host).connect(
+            server_host.ip, 80, on_connected=lambda c: c.send(b"from-client"))
+        TcpClient(other).connect(
+            server_host.ip, 80, on_connected=lambda c: c.send(b"from-other"))
+        sim.run(until=2.0)
+        assert sorted(requests) == [b"from-client", b"from-other"]
+        assert len(server.accepted) == 2
+
+    def test_sequence_numbers_track_data(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        conn = TcpClient(client_host).connect(server_host.ip, 80)
+        sim.run(until=1.0)
+        seq_before = conn.snd_nxt
+        conn.send(b"x" * 100)
+        assert conn.snd_nxt == (seq_before + 100) & 0xFFFFFFFF
+
+    def test_out_of_order_segment_dropped(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        conn = TcpClient(client_host).connect(
+            server_host.ip, 80, on_connected=lambda c: c.send(b"hello"))
+        sim.run(until=1.0)
+        server_conn = server.accepted[0]
+        # Replay the same bytes: the seq is now stale.
+        before = server_conn.bytes_received
+        conn.snd_nxt -= 5
+        conn.send(b"hello")
+        sim.run(until=2.0)
+        assert server_conn.bytes_received == before
+        assert server_conn.out_of_order_drops == 1
+
+    def test_fin_close_notifies_both_sides(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        closed = []
+        conn = TcpClient(client_host).connect(
+            server_host.ip, 80, on_close=lambda c: closed.append("client"))
+        sim.run(until=1.0)
+        server.accepted[0].on_close = lambda c: closed.append("server")
+        conn.close()
+        sim.run(until=2.0)
+        assert server.accepted[0].state == "closed"
+
+    def test_connect_to_closed_port_gets_rst(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        conn = TcpClient(client_host).connect(server_host.ip, 4444)
+        sim.run(until=2.0)
+        assert conn.state == "closed"
+
+    def test_send_requires_established(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        conn = TcpClient(client_host).connect(server_host.ip, 80)
+        with pytest.raises(StackError):
+            conn.send(b"too early")
+
+    def test_double_listen_rejected(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        with pytest.raises(StackError):
+            TcpServer(server_host, 80)
+
+
+@pytest.fixture
+def hijack_rig(sim, www):
+    lan, client_host, server_host, mallory, server, requests = www
+    responses = []
+    conn = TcpClient(client_host).connect(
+        server_host.ip, 80,
+        on_connected=lambda c: c.send(b"GET /"),
+        on_data=lambda c, d: responses.append(d),
+    )
+    sim.run(until=2.0)
+    mitm = MitmAttack(mallory, client_host, server_host)
+    mitm.start()
+    hijacker = SessionHijacker(mitm)
+    hijacker.start()
+    sim.run(until=5.0)
+    conn.send(b"GET /account")  # traffic through the MITM feeds the flows
+    sim.run(until=6.0)
+    return lan, conn, responses, mitm, hijacker, client_host
+
+
+class TestSessionHijack:
+    def test_observes_both_directions(self, sim, hijack_rig):
+        lan, conn, responses, mitm, hijacker, client_host = hijack_rig
+        assert len(hijacker.flows) == 2
+
+    def test_injected_payload_reaches_application(self, sim, hijack_rig):
+        lan, conn, responses, mitm, hijacker, client_host = hijack_rig
+        assert hijacker.inject(client_host.ip, b"EVIL")
+        sim.run(until=7.0)
+        assert b"EVIL" in responses
+        assert conn.state == "established"  # stealthy: nothing torn down
+
+    def test_injection_desynchronizes_real_stream(self, sim, hijack_rig):
+        """After injection the genuine server's next segment is stale."""
+        lan, conn, responses, mitm, hijacker, client_host = hijack_rig
+        hijacker.inject(client_host.ip, b"EVIL")
+        sim.run(until=7.0)
+        drops_before = conn.out_of_order_drops
+        conn.send(b"GET /again")  # server's genuine reply now has old seq
+        sim.run(until=8.0)
+        assert conn.out_of_order_drops > drops_before
+
+    def test_forged_reset_kills_connection(self, sim, hijack_rig):
+        lan, conn, responses, mitm, hijacker, client_host = hijack_rig
+        assert hijacker.reset(client_host.ip)
+        sim.run(until=7.0)
+        assert conn.state == "closed"
+
+    def test_no_flow_no_forgery(self, sim, www):
+        lan, client_host, server_host, mallory, server, requests = www
+        mitm = MitmAttack(mallory, client_host, server_host)
+        mitm.start()
+        hijacker = SessionHijacker(mitm)
+        hijacker.start()
+        sim.run(until=3.0)  # no TCP traffic at all
+        assert not hijacker.inject(client_host.ip, b"x")
+        assert not hijacker.reset(client_host.ip)
+
+    def test_prevention_scheme_starves_the_hijacker(self, sim):
+        """With DAI installed the MITM never establishes, so the hijacker
+        sees no flows and has nothing to forge into."""
+        from repro.schemes import make_scheme
+
+        lan = Lan(sim)
+        client_host = lan.add_host("client", profile=WINDOWS_XP)
+        server_host = lan.add_host("server")
+        mallory = lan.add_host("mallory")
+        scheme = make_scheme("dai", arp_rate_limit=None)
+        scheme.install(lan, protected=[client_host, server_host, lan.gateway])
+        TcpServer(server_host, 80, on_data=lambda c, d: c.send(b"OK"))
+        conn = TcpClient(client_host).connect(
+            server_host.ip, 80, on_connected=lambda c: c.send(b"GET /"))
+        sim.run(until=2.0)
+        mitm = MitmAttack(mallory, client_host, server_host)
+        mitm.start()
+        hijacker = SessionHijacker(mitm)
+        hijacker.start()
+        sim.run(until=5.0)
+        conn.send(b"GET /account")
+        sim.run(until=6.0)
+        assert hijacker.flows == {}
+        assert not hijacker.inject(client_host.ip, b"EVIL")
