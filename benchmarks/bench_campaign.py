@@ -1,0 +1,63 @@
+"""Campaign runner benchmarks: parallel speedup and cache throughput.
+
+The speedup bench runs the same false-positive grid serially and on a
+four-worker pool.  Per-task work is a few hundred milliseconds of
+simulated churn, so process fan-out overhead is well amortized and the
+parallel path should beat serial wall-clock on any multi-core box.  The
+cache bench shows a warm second pass is orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.campaign import CampaignSpec, ResultCache, aggregate, run_campaign
+
+#: 2 schemes × 2 variants × 2 seeds = 8 tasks of ~0.3 s each.
+GRID = CampaignSpec(
+    experiment="false-positives",
+    schemes=("arpwatch", "dai"),
+    variants=({"duration": 300.0}, {"duration": 600.0}),
+    seeds=2,
+    scenario={"n_hosts": 4},
+)
+
+
+def test_campaign_parallel_speedup(once, benchmark):
+    t0 = time.perf_counter()
+    serial = run_campaign(GRID, jobs=1)
+    serial_elapsed = time.perf_counter() - t0
+    assert serial.failures == ()
+
+    parallel = once(benchmark, run_campaign, GRID, jobs=4)
+    assert parallel.failures == ()
+    cores = os.cpu_count() or 1
+    speedup = serial_elapsed / parallel.elapsed if parallel.elapsed else 0.0
+    print(
+        f"\nserial {serial_elapsed:.2f}s, parallel {parallel.elapsed:.2f}s, "
+        f"speedup {speedup:.2f}x on 8 tasks / 4 workers / {cores} core(s)"
+    )
+    # Identical aggregates regardless of worker count — the determinism
+    # contract the speedup must never trade away.
+    assert aggregate(parallel) == aggregate(serial)
+    if cores >= 4:
+        assert speedup > 1.3, f"expected real speedup on {cores} cores"
+    else:
+        # Single/dual-core box: parallelism can't win; only require the
+        # pool machinery to stay cheap relative to the work.
+        assert parallel.elapsed < serial_elapsed * 1.5
+
+
+def test_campaign_cache_warm_pass(once, benchmark, tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = run_campaign(GRID, jobs=2, cache=cache)
+    assert cold.executed == 8
+
+    warm = once(benchmark, run_campaign, GRID, jobs=2, cache=ResultCache(tmp_path))
+    assert warm.cache_hits == 8 and warm.executed == 0
+    assert aggregate(warm) == aggregate(cold)
+    print(
+        f"\ncold pass {cold.elapsed:.2f}s, warm pass {warm.elapsed:.4f}s "
+        f"({cold.elapsed / warm.elapsed:.0f}x faster)"
+    )

@@ -1,73 +1,66 @@
 """Multi-seed replication of the headline claims (mean ± CI95).
 
 Single deterministic runs back the artifact benches; this bench re-runs
-the two central comparisons across five seeds and asserts the claims
-hold *in expectation*, not just at seed 7.
+the two central comparisons across five derived seeds and asserts the
+claims hold *in expectation*, not just at seed 7.  The sweeps execute
+through ``repro.campaign`` on a two-worker pool, so every replication
+also exercises the parallel path end to end (spec expansion, worker
+serialization, ordered aggregation).
 """
 
 from __future__ import annotations
 
-from repro.analysis.stats import replicate
-from repro.core.experiment import (
-    ScenarioConfig,
-    run_effectiveness,
-    run_resolution_latency,
-)
+from repro.campaign import CampaignSpec, aggregate, run_campaign
 
-SEEDS = (11, 22, 33, 44, 55)
+SEEDS = 5
 FAST = dict(n_hosts=3, warmup=3.0, attack_duration=12.0, cooldown=2.0)
+
+
+def _cells(campaign):
+    assert campaign.failures == ()
+    return {cell.scheme: cell for cell in aggregate(campaign)}
 
 
 def test_replicated_effectiveness(once, benchmark):
     """Baseline always falls; DAI always holds — across seeds."""
-
-    def run():
-        baseline = replicate(
-            lambda seed: run_effectiveness(
-                None, "reply", config=ScenarioConfig(seed=seed, **FAST)
-            ),
-            seeds=SEEDS,
-        )
-        dai = replicate(
-            lambda seed: run_effectiveness(
-                "dai", "reply", config=ScenarioConfig(seed=seed, **FAST)
-            ),
-            seeds=SEEDS,
-        )
-        return baseline, dai
-
-    baseline, dai = once(benchmark, run)
-    print("\nbaseline poisoned_seconds:", baseline["victim_poisoned_seconds"])
-    print("dai      poisoned_seconds:", dai["victim_poisoned_seconds"])
-    assert baseline["prevented"].mean == 0.0
-    assert baseline["victim_poisoned_seconds"].mean > 8.0
-    assert dai["prevented"].mean == 1.0
-    assert dai["victim_poisoned_seconds"].maximum == 0.0
-    assert dai["detected"].mean == 1.0
+    spec = CampaignSpec(
+        experiment="effectiveness",
+        schemes=(None, "dai"),
+        variants=({"technique": "reply"},),
+        seeds=SEEDS,
+        root_seed=11,
+        scenario=FAST,
+    )
+    campaign = once(benchmark, run_campaign, spec, jobs=2)
+    cells = _cells(campaign)
+    baseline, dai = cells["none"], cells["dai"]
+    print("\nbaseline poisoned_seconds:",
+          baseline.metrics["victim_poisoned_seconds"])
+    print("dai      poisoned_seconds:",
+          dai.metrics["victim_poisoned_seconds"])
+    assert baseline.metrics["prevented"].mean == 0.0
+    assert baseline.metrics["victim_poisoned_seconds"].mean > 8.0
+    assert dai.metrics["prevented"].mean == 1.0
+    assert dai.metrics["victim_poisoned_seconds"].maximum == 0.0
+    assert dai.metrics["detected"].mean == 1.0
 
 
 def test_replicated_sarp_slowdown(once, benchmark):
     """S-ARP's resolution penalty is a stable multiple, not a seed artifact."""
-
-    def run():
-        plain = replicate(
-            lambda seed: {"mean_latency": run_resolution_latency(
-                None, n_resolutions=8, seed=seed
-            ).mean_latency},
-            seeds=SEEDS,
-        )
-        sarp = replicate(
-            lambda seed: {"mean_latency": run_resolution_latency(
-                "s-arp", n_resolutions=8, seed=seed
-            ).mean_latency},
-            seeds=SEEDS,
-        )
-        return plain, sarp
-
-    plain, sarp = once(benchmark, run)
-    slowdown = sarp["mean_latency"].mean / plain["mean_latency"].mean
-    print(f"\nplain: {plain['mean_latency']}  s-arp: {sarp['mean_latency']}")
+    spec = CampaignSpec(
+        experiment="resolution-latency",
+        schemes=(None, "s-arp"),
+        variants=({"n_resolutions": 8},),
+        seeds=SEEDS,
+        root_seed=11,
+    )
+    campaign = once(benchmark, run_campaign, spec, jobs=2)
+    cells = _cells(campaign)
+    plain = cells["none"].metrics["mean_latency"]
+    sarp = cells["s-arp"].metrics["mean_latency"]
+    slowdown = sarp.mean / plain.mean
+    print(f"\nplain: {plain}  s-arp: {sarp}")
     print(f"slowdown: {slowdown:.1f}x")
     assert 3.0 < slowdown < 100.0
     # Stability: the CI of the S-ARP mean stays well under its mean.
-    assert sarp["mean_latency"].ci95_half_width < sarp["mean_latency"].mean
+    assert sarp.ci95 < sarp.mean

@@ -1,0 +1,127 @@
+"""Multi-trial aggregation of campaign results into report artifacts.
+
+Where the single-run report code fills each table cell with one seed's
+number, a campaign fills it with a distribution: per-cell mean, 95 % CI,
+percentiles, and extrema over every completed trial.  The output reuses
+:class:`repro.core.report.Artifact`, so aggregated tables render, CSV-
+export, and slot into tooling exactly like the paper's originals.
+
+Determinism: cells and trials are walked in spec order, so the floats
+(and therefore the rendered table) are bit-identical for any worker
+count or completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+from repro.campaign.runner import CampaignResult
+from repro.campaign.spec import EXPERIMENTS
+from repro.core.experiment import result_from_dict
+from repro.core.metrics import percentile
+from repro.core.report import Artifact
+
+__all__ = ["MetricStats", "CellAggregate", "aggregate", "to_artifact"]
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Distribution summary of one metric over a cell's trials.
+
+    Boolean metrics (``prevented``, ``detected``) become rates in [0, 1];
+    ``None`` values (e.g. detection latency when undetected) are dropped,
+    with the surviving sample size visible as ``n``.
+    """
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci95: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "MetricStats":
+        summary = summarize(list(values))
+        return cls(
+            n=summary.n,
+            mean=summary.mean,
+            stdev=summary.stdev,
+            minimum=summary.minimum,
+            maximum=summary.maximum,
+            ci95=summary.ci95_half_width,
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ±{self.ci95:.2g}"
+
+
+@dataclass(frozen=True)
+class CellAggregate:
+    """One aggregated grid cell: all trials of (scheme, variant)."""
+
+    scheme: str
+    variant: str
+    n: int
+    metrics: Dict[str, MetricStats]
+
+
+def aggregate(campaign: CampaignResult) -> List[CellAggregate]:
+    """Fold per-trial results into one :class:`CellAggregate` per cell."""
+    kind = EXPERIMENTS[campaign.spec.experiment]
+    by_cell: Dict[Tuple[str, str], List[object]] = {}
+    for task, payload in campaign.completed_in_order():
+        by_cell.setdefault(task.cell, []).append(result_from_dict(payload))
+
+    out: List[CellAggregate] = []
+    for (scheme, variant), results in by_cell.items():
+        metrics: Dict[str, MetricStats] = {}
+        for name in kind.metrics:
+            values: List[float] = []
+            for result in results:
+                value = getattr(result, name)
+                if value is None:
+                    continue
+                values.append(float(value))
+            if values:
+                metrics[name] = MetricStats.from_values(values)
+        out.append(
+            CellAggregate(
+                scheme=scheme, variant=variant, n=len(results), metrics=metrics
+            )
+        )
+    return out
+
+
+def to_artifact(campaign: CampaignResult) -> Artifact:
+    """Render a campaign as a multi-trial statistics table."""
+    spec = campaign.spec
+    kind = EXPERIMENTS[spec.experiment]
+    cells = aggregate(campaign)
+    header = ["Scheme", "variant", "n"] + list(kind.metrics)
+    rows: List[List[object]] = []
+    for cell in cells:
+        row: List[object] = [cell.scheme, cell.variant, cell.n]
+        for name in kind.metrics:
+            stats = cell.metrics.get(name)
+            row.append(str(stats) if stats is not None else "-")
+        rows.append(row)
+    title = (
+        f"Campaign — {kind.name}: {len(spec.schemes)} scheme(s) × "
+        f"{len(spec.effective_variants())} variant(s) × {spec.seeds} seed(s), "
+        f"root seed {spec.root_seed}"
+    )
+    return Artifact(
+        artifact_id=f"C-{kind.name}",
+        title=title,
+        header=header,
+        rows=rows,
+        rendered=render_table(header, rows, title=title),
+    )

@@ -1,0 +1,280 @@
+"""Campaign execution: serial or multiprocessing-backed, with retries.
+
+The runner turns a :class:`CampaignSpec` into a :class:`CampaignResult`:
+
+* cells already present in the :class:`~repro.campaign.cache.ResultCache`
+  are served without computing anything;
+* remaining tasks run either in-process (``jobs=1``, single task, or no
+  ``fork`` support) or on a bounded pool of worker *processes* — one
+  process per task attempt, so a crashed or hung worker can be reaped
+  with ``terminate()`` without poisoning a shared pool;
+* a task that raises (or times out, in parallel mode) is retried up to
+  ``retries`` extra attempts, then recorded as a :class:`TaskFailure`
+  without aborting the rest of the campaign.
+
+Determinism: results are keyed by task identity and aggregation walks
+tasks in spec order, so worker count and completion order never change
+the campaign's aggregates.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import CampaignSpec, CampaignTask, execute_task
+from repro.errors import CampaignError
+
+__all__ = ["TaskFailure", "CampaignResult", "run_campaign"]
+
+#: Signature of the unit of work: task in, JSON-safe result dict out.
+Executor = Callable[[CampaignTask], Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its attempts without producing a result."""
+
+    task: CampaignTask
+    error: str
+    attempts: int
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    spec: CampaignSpec
+    results: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    failures: Tuple[TaskFailure, ...] = ()
+    cache_hits: int = 0
+    executed: int = 0
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def total_tasks(self) -> int:
+        return len(self.results) + len(self.failures)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total_tasks if self.total_tasks else 0.0
+
+    def result_for(self, task: CampaignTask) -> Optional[Dict[str, object]]:
+        return self.results.get(task.key())
+
+    def completed_in_order(
+        self,
+    ) -> List[Tuple[CampaignTask, Dict[str, object]]]:
+        """(task, result) pairs in spec order — the deterministic view."""
+        out = []
+        for task in self.spec.tasks():
+            result = self.results.get(task.key())
+            if result is not None:
+                out.append((task, result))
+        return out
+
+
+def _worker_entry(executor: Executor, task: CampaignTask, conn) -> None:
+    """Body of one worker process: run the task, send one message back."""
+    try:
+        payload = executor(task)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - broken pipe during shutdown
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+def _fork_context():
+    """The fork multiprocessing context, or ``None`` if unsupported.
+
+    Workers must inherit the parent's memory image (``fork``) so that
+    custom executors — closures in tests, registry entries created at
+    runtime — exist in the child without pickling.  Platforms without
+    fork degrade gracefully to serial execution.
+    """
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+    except Exception:  # pragma: no cover - exotic platforms
+        pass
+    return None
+
+
+def _run_serial(
+    tasks: List[CampaignTask],
+    executor: Executor,
+    retries: int,
+    record_ok: Callable[[CampaignTask, Dict[str, object]], None],
+    record_fail: Callable[[CampaignTask, str, int], None],
+) -> None:
+    for task in tasks:
+        error = ""
+        for attempt in range(1, retries + 2):
+            try:
+                record_ok(task, executor(task))
+                break
+            except Exception as exc:  # noqa: BLE001
+                error = f"{type(exc).__name__}: {exc}"
+        else:
+            record_fail(task, error, retries + 1)
+
+
+def _run_parallel(
+    tasks: List[CampaignTask],
+    executor: Executor,
+    jobs: int,
+    retries: int,
+    task_timeout: float,
+    ctx,
+    record_ok: Callable[[CampaignTask, Dict[str, object]], None],
+    record_fail: Callable[[CampaignTask, str, int], None],
+) -> None:
+    pending = deque((task, 1) for task in tasks)
+    running: Dict[object, Tuple[object, CampaignTask, float, int]] = {}
+
+    def finish(task: CampaignTask, attempt: int, error: str) -> None:
+        if attempt <= retries:
+            pending.append((task, attempt + 1))
+        else:
+            record_fail(task, error, attempt)
+
+    while pending or running:
+        while pending and len(running) < jobs:
+            task, attempt = pending.popleft()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_entry,
+                args=(executor, task, child_conn),
+                daemon=True,
+                name=f"campaign-worker-{task.trial}",
+            )
+            proc.start()
+            child_conn.close()
+            deadline = time.monotonic() + task_timeout
+            running[parent_conn] = (proc, task, deadline, attempt)
+
+        if not running:
+            continue
+        now = time.monotonic()
+        next_deadline = min(deadline for _, _, deadline, _ in running.values())
+        wait_for = max(0.0, min(0.25, next_deadline - now))
+        ready = connection_wait(list(running), timeout=wait_for)
+
+        for conn in ready:
+            proc, task, _, attempt = running.pop(conn)
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                status, payload = (
+                    "error",
+                    f"worker died before reporting (exitcode={proc.exitcode})",
+                )
+            conn.close()
+            proc.join()
+            if status == "ok":
+                record_ok(task, payload)
+            else:
+                finish(task, attempt, payload)
+
+        now = time.monotonic()
+        for conn in [c for c, v in running.items() if v[2] <= now]:
+            proc, task, _, attempt = running.pop(conn)
+            proc.terminate()
+            proc.join(1.0)
+            if proc.is_alive():  # pragma: no cover - terminate() sufficed
+                proc.kill()
+                proc.join()
+            conn.close()
+            finish(task, attempt, f"timed out after {task_timeout:.1f}s")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    retries: int = 1,
+    task_timeout: float = 300.0,
+    executor: Executor = execute_task,
+) -> CampaignResult:
+    """Execute every task of ``spec`` and collect the results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (or platforms without ``fork``)
+        runs everything in-process.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are written back.  ``None`` disables caching.
+    retries:
+        Extra attempts after a task's first failure before it is
+        recorded as a :class:`TaskFailure`.
+    task_timeout:
+        Per-attempt wall-clock budget, enforced only in parallel mode
+        (an in-process task cannot be safely interrupted).
+    executor:
+        The unit of work; overridable for tests and custom experiments.
+    """
+    if jobs < 1:
+        raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise CampaignError(f"retries must be >= 0, got {retries}")
+    if task_timeout <= 0:
+        raise CampaignError(f"task_timeout must be positive, got {task_timeout}")
+
+    started = time.monotonic()
+    tasks = spec.tasks()
+    result = CampaignResult(spec=spec, jobs=jobs)
+    failures: List[TaskFailure] = []
+    to_run: List[CampaignTask] = []
+
+    for task in tasks:
+        if cache is not None:
+            cached = cache.get(cache.task_key(task))
+            if cached is not None:
+                result.results[task.key()] = cached
+                result.cache_hits += 1
+                continue
+        to_run.append(task)
+
+    def record_ok(task: CampaignTask, payload: Dict[str, object]) -> None:
+        result.results[task.key()] = payload
+        result.executed += 1
+        if cache is not None:
+            cache.put(cache.task_key(task), task, payload)
+
+    def record_fail(task: CampaignTask, error: str, attempts: int) -> None:
+        failures.append(TaskFailure(task=task, error=error, attempts=attempts))
+
+    ctx = _fork_context()
+    if to_run:
+        if jobs == 1 or len(to_run) == 1 or ctx is None:
+            _run_serial(to_run, executor, retries, record_ok, record_fail)
+        else:
+            _run_parallel(
+                to_run,
+                executor,
+                jobs,
+                retries,
+                task_timeout,
+                ctx,
+                record_ok,
+                record_fail,
+            )
+
+    result.failures = tuple(failures)
+    result.elapsed = time.monotonic() - started
+    return result

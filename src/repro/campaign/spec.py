@@ -1,0 +1,368 @@
+"""Declarative experiment-campaign grids.
+
+A :class:`CampaignSpec` names one experiment kind and the grid to sweep:
+schemes × variants (experiment parameters) × ``seeds`` independent
+trials.  :meth:`CampaignSpec.tasks` expands the grid into self-contained
+:class:`CampaignTask` cells that can be shipped to worker processes and
+hashed for the result cache.
+
+Determinism contract
+--------------------
+Each task's seed is derived with :func:`derive_seed` from the *content*
+of its cell — root seed, experiment kind, scheme, variant, scenario
+overrides, and trial index — never from the task's position in the grid.
+Reordering schemes, adding variants, or changing the worker count
+therefore never changes the result of any individual cell, and two
+campaigns with the same root seed produce bit-identical aggregates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.experiment import (
+    ScenarioConfig,
+    SerializableResult,
+    run_detection_latency,
+    run_effectiveness,
+    run_false_positives,
+    run_footprint,
+    run_overhead,
+    run_resolution_latency,
+)
+from repro.errors import CampaignError
+from repro.schemes.registry import SCHEME_FACTORIES
+
+__all__ = [
+    "derive_seed",
+    "canonical_params",
+    "CampaignTask",
+    "CampaignSpec",
+    "ExperimentKind",
+    "EXPERIMENTS",
+    "execute_task",
+]
+
+
+def derive_seed(root_seed: int, *parts: object) -> int:
+    """Derive an independent seed from ``root_seed`` and string-able parts.
+
+    Uses a stable cryptographic hash (never Python's randomized ``hash``)
+    so the same inputs give the same seed on every run, interpreter, and
+    platform.  Distinct part tuples give statistically independent seeds.
+    """
+    material = json.dumps(
+        [int(root_seed)] + [str(p) for p in parts], separators=(",", ":")
+    )
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
+
+
+def canonical_params(params: Mapping[str, object]) -> str:
+    """A stable, order-independent text form of a parameter mapping."""
+    if not params:
+        return "-"
+    return ",".join(f"{k}={params[k]}" for k in sorted(params))
+
+
+def _canonical_json(value: object) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One cell of a campaign grid: a single seeded experiment run.
+
+    Tasks are self-contained (they carry the scenario overrides, not a
+    reference back to the spec) so that a task dict alone determines the
+    computation — that is what the result cache hashes.
+    """
+
+    experiment: str
+    scheme: Optional[str]
+    variant: Mapping[str, object]
+    scenario: Mapping[str, object]
+    trial: int
+    seed: int
+
+    @property
+    def scheme_label(self) -> str:
+        return self.scheme or "none"
+
+    @property
+    def cell(self) -> Tuple[str, str]:
+        """The aggregation group this task belongs to (all trials share it)."""
+        return (self.scheme_label, canonical_params(self.variant))
+
+    def key(self) -> str:
+        """Stable unique identifier of this task within any campaign."""
+        return _canonical_json(self.to_dict())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "scheme": self.scheme,
+            "variant": dict(self.variant),
+            "scenario": dict(self.scenario),
+            "trial": self.trial,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignTask":
+        payload = dict(data)
+        unknown = set(payload) - {f.name for f in fields(cls)}
+        if unknown:
+            raise CampaignError(f"unknown task fields {sorted(unknown)}")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise CampaignError(f"invalid task payload: {exc}") from None
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A sweep grid: one experiment kind × schemes × variants × seeds."""
+
+    experiment: str = "effectiveness"
+    schemes: Tuple[Optional[str], ...] = (None,)
+    variants: Tuple[Mapping[str, object], ...] = ()
+    seeds: int = 5
+    root_seed: int = 7
+    scenario: Mapping[str, object] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        kind = EXPERIMENTS.get(self.experiment)
+        if kind is None:
+            raise CampaignError(
+                f"unknown experiment {self.experiment!r}; "
+                f"known: {sorted(EXPERIMENTS)}"
+            )
+        if self.seeds < 1:
+            raise CampaignError(f"seeds must be >= 1, got {self.seeds}")
+        if not self.schemes:
+            raise CampaignError("a campaign needs at least one scheme")
+        for scheme in self.schemes:
+            if scheme is not None and scheme not in SCHEME_FACTORIES:
+                raise CampaignError(
+                    f"unknown scheme {scheme!r}; known: "
+                    f"{sorted(SCHEME_FACTORIES)} (or None for the baseline)"
+                )
+            if scheme is None and kind.requires_scheme:
+                raise CampaignError(
+                    f"experiment {self.experiment!r} needs a scheme; "
+                    "None (baseline) is not allowed"
+                )
+        for variant in self.variants:
+            bad = set(variant) - set(kind.variant_keys)
+            if bad:
+                raise CampaignError(
+                    f"variant keys {sorted(bad)} not understood by "
+                    f"{self.experiment!r}; allowed: {sorted(kind.variant_keys)}"
+                )
+        # Validate the scenario overrides eagerly: a typo should fail at
+        # spec construction, not inside a worker process.
+        ScenarioConfig.from_dict(dict(self.scenario))
+
+    @property
+    def kind(self) -> "ExperimentKind":
+        return EXPERIMENTS[self.experiment]
+
+    def effective_variants(self) -> Tuple[Mapping[str, object], ...]:
+        return self.variants if self.variants else self.kind.default_variants
+
+    def tasks(self) -> List[CampaignTask]:
+        """Expand the grid, deterministically, in cell-major order."""
+        out: List[CampaignTask] = []
+        scenario = dict(self.scenario)
+        for scheme in self.schemes:
+            for variant in self.effective_variants():
+                for trial in range(self.seeds):
+                    seed = derive_seed(
+                        self.root_seed,
+                        self.experiment,
+                        scheme or "none",
+                        _canonical_json(dict(variant)),
+                        _canonical_json(scenario),
+                        trial,
+                    )
+                    out.append(
+                        CampaignTask(
+                            experiment=self.experiment,
+                            scheme=scheme,
+                            variant=dict(variant),
+                            scenario=scenario,
+                            trial=trial,
+                            seed=seed,
+                        )
+                    )
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "schemes": list(self.schemes),
+            "variants": [dict(v) for v in self.variants],
+            "seeds": self.seeds,
+            "root_seed": self.root_seed,
+            "scenario": dict(self.scenario),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        payload = dict(data)
+        unknown = set(payload) - {f.name for f in fields(cls)}
+        if unknown:
+            raise CampaignError(f"unknown spec fields {sorted(unknown)}")
+        if "schemes" in payload:
+            payload["schemes"] = tuple(payload["schemes"])
+        if "variants" in payload:
+            payload["variants"] = tuple(dict(v) for v in payload["variants"])
+        return cls(**payload)
+
+
+# ======================================================================
+# Experiment kinds: how one task maps onto a run_* call
+# ======================================================================
+def _scenario_config(task: CampaignTask, **extra: object) -> ScenarioConfig:
+    payload = dict(task.scenario)
+    payload.update(extra)
+    payload["seed"] = task.seed
+    return ScenarioConfig.from_dict(payload)
+
+
+def _execute_effectiveness(task: CampaignTask) -> SerializableResult:
+    technique = str(task.variant.get("technique", "reply"))
+    return run_effectiveness(task.scheme, technique, config=_scenario_config(task))
+
+
+def _execute_false_positives(task: CampaignTask) -> SerializableResult:
+    duration = float(task.variant.get("duration", 600.0))
+    config = _scenario_config(task, with_dhcp=True)
+    return run_false_positives(task.scheme, duration=duration, config=config)
+
+
+def _execute_detection_latency(task: CampaignTask) -> SerializableResult:
+    rate = float(task.variant.get("poison_rate", 1.0))
+    return run_detection_latency(
+        task.scheme, poison_rate=rate, config=_scenario_config(task)
+    )
+
+
+def _execute_overhead(task: CampaignTask) -> SerializableResult:
+    return run_overhead(
+        task.scheme,
+        n_hosts=int(task.variant.get("n_hosts", 8)),
+        resolutions_per_host=int(task.variant.get("resolutions_per_host", 4)),
+        seed=task.seed,
+    )
+
+
+def _execute_resolution_latency(task: CampaignTask) -> SerializableResult:
+    return run_resolution_latency(
+        task.scheme,
+        n_resolutions=int(task.variant.get("n_resolutions", 20)),
+        seed=task.seed,
+    )
+
+
+def _execute_footprint(task: CampaignTask) -> SerializableResult:
+    return run_footprint(
+        task.scheme,
+        n_hosts=int(task.variant.get("n_hosts", 8)),
+        settle=float(task.variant.get("settle", 30.0)),
+        seed=task.seed,
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentKind:
+    """Binding between a campaign experiment name and its ``run_*`` call."""
+
+    name: str
+    execute: Callable[[CampaignTask], SerializableResult]
+    metrics: Tuple[str, ...]
+    variant_keys: Tuple[str, ...]
+    default_variants: Tuple[Mapping[str, object], ...]
+    requires_scheme: bool = False
+
+
+#: All campaign-runnable experiment kinds.
+EXPERIMENTS: Dict[str, ExperimentKind] = {
+    kind.name: kind
+    for kind in (
+        ExperimentKind(
+            name="effectiveness",
+            execute=_execute_effectiveness,
+            metrics=(
+                "prevented",
+                "detected",
+                "detection_latency",
+                "tp_alerts",
+                "fp_alerts",
+                "victim_poisoned_seconds",
+                "packets_intercepted",
+            ),
+            variant_keys=("technique",),
+            default_variants=({"technique": "reply"},),
+        ),
+        ExperimentKind(
+            name="false-positives",
+            execute=_execute_false_positives,
+            metrics=("fp_alerts", "fp_per_hour", "info_alerts"),
+            variant_keys=("duration",),
+            default_variants=({"duration": 600.0},),
+        ),
+        ExperimentKind(
+            name="detection-latency",
+            execute=_execute_detection_latency,
+            metrics=("detected", "detection_latency"),
+            variant_keys=("poison_rate",),
+            default_variants=({"poison_rate": 1.0},),
+            requires_scheme=True,
+        ),
+        ExperimentKind(
+            name="overhead",
+            execute=_execute_overhead,
+            metrics=(
+                "frames_per_resolution",
+                "bytes_per_resolution",
+                "arp_frames",
+                "scheme_messages",
+            ),
+            variant_keys=("n_hosts", "resolutions_per_host"),
+            default_variants=({"n_hosts": 8},),
+        ),
+        ExperimentKind(
+            name="resolution-latency",
+            execute=_execute_resolution_latency,
+            metrics=("mean_latency", "max_latency"),
+            variant_keys=("n_resolutions",),
+            default_variants=({"n_resolutions": 20},),
+        ),
+        ExperimentKind(
+            name="footprint",
+            execute=_execute_footprint,
+            metrics=("state_entries", "scheme_messages", "switch_cam_entries"),
+            variant_keys=("n_hosts", "settle"),
+            default_variants=({"n_hosts": 8},),
+        ),
+    )
+}
+
+
+def execute_task(task: CampaignTask) -> Dict[str, object]:
+    """Run one task and return its result as a JSON-safe dict.
+
+    This is the unit of work shipped to campaign worker processes; the
+    dict form crosses the process boundary and lands in the cache.
+    """
+    kind = EXPERIMENTS.get(task.experiment)
+    if kind is None:
+        raise CampaignError(f"unknown experiment {task.experiment!r}")
+    return kind.execute(task).to_dict()

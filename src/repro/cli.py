@@ -10,6 +10,10 @@ Commands
 ``demo mitm|dos|flood|starvation``
     Run a single attack scenario, optionally with ``--scheme KEY``
     installed, and print what happened.
+``campaign``
+    Sweep an experiment over schemes × variants × seeds on a worker
+    pool (``--jobs``), with on-disk result caching (``--cache-dir`` /
+    ``--no-cache``), and print multi-trial aggregate statistics.
 """
 
 from __future__ import annotations
@@ -71,6 +75,48 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--duration", type=float, default=30.0)
 
+    from repro.campaign.spec import EXPERIMENTS
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a parallel multi-seed experiment sweep with caching",
+    )
+    camp.add_argument(
+        "--experiment", default="effectiveness", choices=sorted(EXPERIMENTS),
+        help="which measurement to sweep (default: effectiveness)",
+    )
+    camp.add_argument(
+        "--schemes", default="all",
+        help="comma-separated scheme keys; 'none' is the no-defense "
+             "baseline, 'all' sweeps the whole registry (default: all)",
+    )
+    camp.add_argument(
+        "--techniques", default="reply",
+        help="comma-separated poisoning techniques (effectiveness only)",
+    )
+    camp.add_argument(
+        "--rates", default="1.0",
+        help="comma-separated poison rates in pps (detection-latency only)",
+    )
+    camp.add_argument("--seeds", type=int, default=5,
+                      help="independent trials per grid cell")
+    camp.add_argument("--root-seed", type=int, default=7)
+    camp.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (1 = in-process serial)")
+    camp.add_argument("--hosts", type=int, default=4,
+                      help="LAN size of the sweep scenario")
+    camp.add_argument("--duration", type=float, default=12.0,
+                      help="attack/observation duration per trial (seconds)")
+    camp.add_argument("--timeout", type=float, default=300.0,
+                      help="per-task wall-clock budget (parallel mode)")
+    camp.add_argument("--retries", type=int, default=1,
+                      help="extra attempts after a task failure")
+    camp.add_argument("--cache-dir", default=".repro_cache",
+                      help="result cache directory (default: .repro_cache)")
+    camp.add_argument("--no-cache", action="store_true",
+                      help="always recompute; do not read or write the cache")
+    camp.add_argument("--csv", action="store_true", help="emit CSV")
+
     rec = sub.add_parser(
         "recommend", help="rank schemes for a described deployment"
     )
@@ -111,6 +157,83 @@ def _cmd_artifact(args, out) -> int:
     artifact = registry[args.number]()
     out.write((artifact.csv if args.csv else artifact.rendered) + "\n")
     return 0
+
+
+def _campaign_grid(args):
+    """Translate CLI flags into (schemes, variants, scenario overrides)."""
+    from repro.campaign.spec import EXPERIMENTS
+
+    kind = EXPERIMENTS[args.experiment]
+    if args.schemes == "all":
+        keys = list(SCHEME_FACTORIES)
+        schemes = keys if kind.requires_scheme else [None] + keys
+    else:
+        schemes = [
+            None if key == "none" else key
+            for key in args.schemes.split(",")
+            if key
+        ]
+
+    scenario = {}
+    if args.experiment == "effectiveness":
+        variants = [{"technique": t} for t in args.techniques.split(",") if t]
+        scenario = {"n_hosts": args.hosts, "attack_duration": args.duration,
+                    "warmup": 3.0, "cooldown": 2.0}
+    elif args.experiment == "detection-latency":
+        variants = [{"poison_rate": float(r)} for r in args.rates.split(",") if r]
+        scenario = {"n_hosts": args.hosts, "attack_duration": args.duration,
+                    "warmup": 3.0, "cooldown": 2.0}
+    elif args.experiment == "false-positives":
+        variants = [{"duration": max(args.duration, 60.0)}]
+        scenario = {"n_hosts": args.hosts}
+    elif args.experiment in ("overhead", "footprint"):
+        variants = [{"n_hosts": args.hosts}]
+    else:  # resolution-latency
+        variants = list(kind.default_variants)
+    return tuple(schemes), tuple(variants), scenario
+
+
+def _cmd_campaign(args, out) -> int:
+    from repro.campaign import (
+        CampaignSpec,
+        ResultCache,
+        run_campaign,
+        to_artifact,
+    )
+
+    schemes, variants, scenario = _campaign_grid(args)
+    spec = CampaignSpec(
+        experiment=args.experiment,
+        schemes=schemes,
+        variants=variants,
+        seeds=args.seeds,
+        root_seed=args.root_seed,
+        scenario=scenario,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    campaign = run_campaign(
+        spec,
+        jobs=args.jobs,
+        cache=cache,
+        retries=args.retries,
+        task_timeout=args.timeout,
+    )
+    artifact = to_artifact(campaign)
+    out.write((artifact.csv if args.csv else artifact.rendered) + "\n")
+    out.write(
+        f"# campaign: {campaign.total_tasks} tasks, "
+        f"{campaign.cache_hits} cache hits "
+        f"({campaign.cache_hit_rate:.0%}), {campaign.executed} executed, "
+        f"{len(campaign.failures)} failed, jobs={campaign.jobs}, "
+        f"{campaign.elapsed:.2f}s\n"
+    )
+    for failure in campaign.failures:
+        out.write(
+            f"# FAILED {failure.task.scheme_label} "
+            f"{failure.task.cell[1]} trial={failure.task.trial} "
+            f"after {failure.attempts} attempt(s): {failure.error}\n"
+        )
+    return 1 if campaign.failures else 0
 
 
 def _cmd_demo(args, out) -> int:
@@ -226,6 +349,8 @@ def main(argv: Optional[list[str]] = None, out=None) -> int:
         return _cmd_artifact(args, out)
     if args.command == "demo":
         return _cmd_demo(args, out)
+    if args.command == "campaign":
+        return _cmd_campaign(args, out)
     if args.command == "analyze":
         from repro.analysis.forensics import OfflineArpAnalyzer
         from repro.analysis.pcap import read_pcap

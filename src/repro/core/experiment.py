@@ -8,8 +8,8 @@ paper's measurements on it.  Everything is seeded and deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.attacks.arp_poison import POISON_TECHNIQUES
 from repro.attacks.mitm import MitmAttack
@@ -28,12 +28,13 @@ from repro.schemes.base import Scheme
 from repro.schemes.registry import make_scheme
 from repro.sim.simulator import Simulator
 from repro.stack.host import Host
-from repro.stack.os_profiles import LINUX, OsProfile, WINDOWS_XP
+from repro.stack.os_profiles import LINUX, PROFILES, OsProfile, WINDOWS_XP
 from repro.workloads.benign import BenignTraffic, ChurnWorkload
 
 __all__ = [
     "ScenarioConfig",
     "Scenario",
+    "SerializableResult",
     "EffectivenessResult",
     "FalsePositiveResult",
     "LatencyResult",
@@ -41,6 +42,8 @@ __all__ = [
     "ResolutionLatencyResult",
     "InterceptionTimeline",
     "FootprintResult",
+    "RESULT_TYPES",
+    "result_from_dict",
     "run_effectiveness",
     "run_false_positives",
     "run_detection_latency",
@@ -49,6 +52,49 @@ __all__ = [
     "run_interception_timeline",
     "run_footprint",
 ]
+
+
+def _tuplify(value):
+    """Recursively turn lists back into tuples (JSON loses tuple-ness)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+class SerializableResult:
+    """JSON-safe ``to_dict``/``from_dict`` round-trip for result dataclasses.
+
+    Campaign workers return results across process boundaries and the
+    on-disk result cache stores them as JSON, so every result type must
+    survive ``from_dict(json.loads(json.dumps(to_dict())))`` unchanged.
+    Tuple-typed fields are restored from the lists JSON produces.
+    """
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["kind"] = type(self).__name__
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SerializableResult":
+        payload = dict(data)
+        kind = payload.pop("kind", cls.__name__)
+        if kind != cls.__name__:
+            raise ExperimentError(
+                f"cannot deserialize a {kind!r} payload as {cls.__name__}"
+            )
+        kwargs = {}
+        for f in fields(cls):
+            if f.name not in payload:
+                raise ExperimentError(
+                    f"{cls.__name__}.from_dict: missing field {f.name!r}"
+                )
+            kwargs[f.name] = _tuplify(payload.pop(f.name))
+        if payload:
+            raise ExperimentError(
+                f"{cls.__name__}.from_dict: unknown fields {sorted(payload)}"
+            )
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -65,6 +111,33 @@ class ScenarioConfig:
     warmup: float = 5.0
     attack_duration: float = 30.0
     cooldown: float = 5.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form; OS profiles are stored by name."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["victim_profile"] = self.victim_profile.name
+        data["other_profile"] = self.other_profile.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioConfig":
+        """Build a config from a (possibly partial) dict of overrides."""
+        payload = dict(data)
+        unknown = set(payload) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ExperimentError(
+                f"ScenarioConfig.from_dict: unknown fields {sorted(unknown)}"
+            )
+        for key in ("victim_profile", "other_profile"):
+            name = payload.get(key)
+            if isinstance(name, str):
+                try:
+                    payload[key] = PROFILES[name]
+                except KeyError:
+                    raise ExperimentError(
+                        f"unknown OS profile {name!r}; known: {sorted(PROFILES)}"
+                    ) from None
+        return cls(**payload)
 
 
 class Scenario:
@@ -125,7 +198,7 @@ def _make(scheme_key: Optional[str], **kwargs) -> Optional[Scheme]:
 # Table 2 — effectiveness per (scheme, technique)
 # ======================================================================
 @dataclass(frozen=True)
-class EffectivenessResult:
+class EffectivenessResult(SerializableResult):
     scheme: str
     technique: str
     prevented: bool
@@ -214,7 +287,7 @@ def run_effectiveness(
 # Table 3 — false positives under benign churn
 # ======================================================================
 @dataclass(frozen=True)
-class FalsePositiveResult:
+class FalsePositiveResult(SerializableResult):
     scheme: str
     duration: float
     fp_alerts: int
@@ -283,7 +356,7 @@ def run_false_positives(
 # Figure 1 — detection latency vs attack rate
 # ======================================================================
 @dataclass(frozen=True)
-class LatencyResult:
+class LatencyResult(SerializableResult):
     scheme: str
     poison_rate: float
     detection_latency: Optional[float]
@@ -330,7 +403,7 @@ def run_detection_latency(
 # Figure 2 — protocol overhead vs LAN size
 # ======================================================================
 @dataclass(frozen=True)
-class OverheadResult:
+class OverheadResult(SerializableResult):
     scheme: str
     n_hosts: int
     resolutions: int
@@ -405,7 +478,7 @@ def run_overhead(
 # Figure 3 — resolution latency distribution
 # ======================================================================
 @dataclass(frozen=True)
-class ResolutionLatencyResult:
+class ResolutionLatencyResult(SerializableResult):
     scheme: str
     samples: Tuple[float, ...]
 
@@ -452,7 +525,7 @@ def run_resolution_latency(
 # Figure 4 — interception ratio over time
 # ======================================================================
 @dataclass(frozen=True)
-class InterceptionTimeline:
+class InterceptionTimeline(SerializableResult):
     scheme: str
     bin_seconds: float
     bins: Tuple[Tuple[float, float], ...]  # (bin start, interception ratio)
@@ -519,7 +592,7 @@ def run_interception_timeline(
 # Table 4 — resource footprint
 # ======================================================================
 @dataclass(frozen=True)
-class FootprintResult:
+class FootprintResult(SerializableResult):
     scheme: str
     n_hosts: int
     state_entries: int
@@ -550,3 +623,33 @@ def run_footprint(
         scheme_messages=scheme.messages_sent if scheme is not None else 0,
         switch_cam_entries=len(scenario.lan.switch.cam),
     )
+
+
+# ======================================================================
+# Serialization registry (cross-process transfer + result cache)
+# ======================================================================
+#: Result classes by their ``kind`` tag, for polymorphic deserialization.
+RESULT_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        EffectivenessResult,
+        FalsePositiveResult,
+        LatencyResult,
+        OverheadResult,
+        ResolutionLatencyResult,
+        InterceptionTimeline,
+        FootprintResult,
+    )
+}
+
+
+def result_from_dict(data: Mapping[str, object]) -> SerializableResult:
+    """Rebuild whichever result type ``data`` was serialized from."""
+    kind = data.get("kind")
+    try:
+        cls = RESULT_TYPES[kind]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown result kind {kind!r}; known: {sorted(RESULT_TYPES)}"
+        ) from None
+    return cls.from_dict(data)

@@ -78,3 +78,7 @@ class AttackError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition is inconsistent or cannot run."""
+
+
+class CampaignError(ExperimentError):
+    """A campaign spec is invalid or the campaign runner misbehaved."""

@@ -1,0 +1,127 @@
+"""Runner robustness: worker failures, retries, timeouts, degradation."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignTask, run_campaign
+from repro.errors import CampaignError
+
+SPEC = CampaignSpec(
+    experiment="effectiveness",
+    schemes=(None, "dai"),
+    seeds=2,
+    scenario={"n_hosts": 3, "warmup": 1.0, "attack_duration": 2.0},
+)
+
+
+def ok_executor(task: CampaignTask):
+    return {"kind": "stub", "scheme": task.scheme_label, "trial": task.trial}
+
+
+def test_raising_task_is_retried_then_failed_without_killing_campaign():
+    def executor(task: CampaignTask):
+        if task.scheme == "dai" and task.trial == 0:
+            raise RuntimeError("boom")
+        return ok_executor(task)
+
+    campaign = run_campaign(SPEC, jobs=2, retries=2, executor=executor)
+    assert len(campaign.failures) == 1
+    failure = campaign.failures[0]
+    assert failure.task.scheme == "dai" and failure.task.trial == 0
+    assert failure.attempts == 3  # 1 try + 2 retries
+    assert "RuntimeError: boom" in failure.error
+    # The other three tasks still completed.
+    assert len(campaign.results) == 3
+
+
+def test_serial_mode_contains_failures_too():
+    def executor(task: CampaignTask):
+        raise ValueError("always broken")
+
+    campaign = run_campaign(SPEC, jobs=1, retries=1, executor=executor)
+    assert len(campaign.failures) == 4
+    assert all(f.attempts == 2 for f in campaign.failures)
+    assert campaign.results == {}
+
+
+def test_transient_failure_recovers_on_retry(tmp_path):
+    """First attempt fails, the retry (a fresh process) succeeds."""
+
+    def executor(task: CampaignTask):
+        marker = tmp_path / f"seen-{task.scheme_label}-{task.trial}"
+        if not marker.exists():
+            marker.write_text("attempt 1")
+            raise RuntimeError("transient")
+        return ok_executor(task)
+
+    campaign = run_campaign(SPEC, jobs=2, retries=1, executor=executor)
+    assert campaign.failures == ()
+    assert len(campaign.results) == 4
+
+
+def test_hung_task_hits_timeout():
+    def executor(task: CampaignTask):
+        if task.scheme is None and task.trial == 0:
+            time.sleep(60.0)
+        return ok_executor(task)
+
+    started = time.monotonic()
+    campaign = run_campaign(
+        SPEC, jobs=2, retries=0, task_timeout=1.0, executor=executor
+    )
+    elapsed = time.monotonic() - started
+    assert elapsed < 30.0, "timeout did not fire"
+    assert len(campaign.failures) == 1
+    assert "timed out after 1.0s" in campaign.failures[0].error
+    assert len(campaign.results) == 3
+
+
+def test_crashed_worker_is_reported_not_fatal():
+    def executor(task: CampaignTask):
+        if task.scheme == "dai" and task.trial == 1:
+            os._exit(17)  # simulate a segfaulting worker
+        return ok_executor(task)
+
+    campaign = run_campaign(SPEC, jobs=2, retries=0, executor=executor)
+    assert len(campaign.failures) == 1
+    assert "worker died" in campaign.failures[0].error
+    assert len(campaign.results) == 3
+
+
+def test_single_task_runs_in_process():
+    """jobs>1 with one task degrades to serial (no pool overhead)."""
+    pids = []
+
+    def executor(task: CampaignTask):
+        pids.append(os.getpid())
+        return ok_executor(task)
+
+    spec = CampaignSpec(schemes=("dai",), seeds=1, scenario=SPEC.scenario)
+    campaign = run_campaign(spec, jobs=8, executor=executor)
+    assert campaign.failures == ()
+    assert pids == [os.getpid()]
+
+
+def test_parallel_uses_worker_processes():
+    campaign = run_campaign(SPEC, jobs=2, executor=_pid_executor)
+    assert campaign.failures == ()
+    pids = {payload["pid"] for payload in campaign.results.values()}
+    assert os.getpid() not in pids
+    assert len(pids) >= 2
+
+
+def _pid_executor(task: CampaignTask):
+    return {"kind": "stub", "pid": os.getpid()}
+
+
+def test_invalid_runner_arguments():
+    with pytest.raises(CampaignError, match="jobs"):
+        run_campaign(SPEC, jobs=0)
+    with pytest.raises(CampaignError, match="retries"):
+        run_campaign(SPEC, retries=-1)
+    with pytest.raises(CampaignError, match="task_timeout"):
+        run_campaign(SPEC, task_timeout=0.0)
