@@ -1,0 +1,99 @@
+"""Wire fast-path benchmarks: the zero-copy / memoization layer.
+
+These mirror the ``repro bench`` suite (``repro.perf.bench``) as
+pytest-benchmark cases, and assert the *shape* the fast path promises:
+memoized re-encode beats a fresh encode by an order of magnitude, a lazy
+header view beats a full decode, and the flood path reuses one buffer.
+
+Run with::
+
+    pytest benchmarks/bench_wire.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.l2.topology import Lan
+from repro.net.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
+from repro.packets.arp import ArpOp, ArpPacket
+from repro.packets.base import internet_checksum
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.perf import PERF
+from repro.sim.simulator import Simulator
+
+MAC_A = MacAddress("08:00:27:aa:aa:aa")
+MAC_B = MacAddress("08:00:27:bb:bb:bb")
+IP_A = Ipv4Address("192.168.88.10")
+IP_B = Ipv4Address("192.168.88.1")
+
+
+def _arp() -> ArpPacket:
+    return ArpPacket(op=ArpOp.REQUEST, sha=MAC_A, spa=IP_A, tha=BROADCAST_MAC, tpa=IP_B)
+
+
+def test_bench_encode_fresh(benchmark):
+    wire = benchmark(lambda: _arp().encode())
+    assert len(wire) == 28
+
+
+def test_bench_encode_memoized(benchmark):
+    packet = _arp()
+    first = packet.encode()
+
+    wire = benchmark(packet.encode)
+    assert wire is first  # the memoized buffer itself, not a copy
+
+
+def test_bench_decode_eager(benchmark):
+    wire = EthernetFrame(MAC_B, MAC_A, EtherType.IPV4, b"x" * 100).encode()
+    frame = benchmark(lambda: EthernetFrame.decode(wire))
+    assert frame.src == MAC_A
+
+
+def test_bench_decode_lazy_header(benchmark):
+    wire = EthernetFrame(MAC_B, MAC_A, EtherType.IPV4, b"x" * 100).encode()
+    view = benchmark(lambda: EthernetFrame.lazy(wire))
+    assert view.src == MAC_A
+    assert not view.payload_materialized
+
+
+def test_bench_checksum_odd(benchmark):
+    data = bytes(range(256)) * 5 + b"\x7f"  # odd length, no copy taken
+    checksum = benchmark(lambda: internet_checksum(data))
+    assert 0 <= checksum <= 0xFFFF
+
+
+def test_bench_intern_from_wire(benchmark):
+    packed = MAC_A.packed
+    mac = benchmark(lambda: MacAddress.from_wire(packed))
+    assert mac is MacAddress.from_wire(packed)  # interned: same object
+
+
+def test_bench_broadcast_flood(benchmark):
+    """Headline: unknown-unicast flood through a switched LAN."""
+
+    def flood() -> int:
+        sim = Simulator(seed=11)
+        lan = Lan(sim)
+        hosts = [lan.add_host(f"h{i}") for i in range(8)]
+        sender = hosts[0]
+        sender.ping(hosts[1].ip)
+        sim.run(until=1.0)
+        packet = Ipv4Packet(
+            src=sender.ip, dst=hosts[1].ip, proto=IpProto.UDP, payload=b"z" * 64
+        )
+        frame = EthernetFrame(
+            dst=MacAddress("02:de:ad:be:ef:01"),  # unknown -> flood
+            src=sender.mac,
+            ethertype=EtherType.IPV4,
+            payload=packet.encode(),
+        )
+        before = PERF.flood_buffer_reuses
+        for _ in range(50):
+            sender.transmit_frame(frame)
+        sim.run(until=sim.now + 5.0)
+        return PERF.flood_buffer_reuses - before
+
+    reuses = benchmark.pedantic(flood, rounds=3, iterations=1)
+    # 50 frames flooded out of 7 egress ports each, never re-encoded.
+    assert reuses >= 50 * 7

@@ -140,6 +140,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--scan-threshold", type=int, default=16,
         help="distinct ARP targets per window that count as a sweep",
     )
+
+    bench = sub.add_parser(
+        "bench", help="run the wire fast-path microbenchmarks"
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) if any benchmark regresses below the baseline",
+    )
+    bench.add_argument(
+        "--update", action="store_true",
+        help="write the current results as the new baseline",
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default: BENCH_wire.json at the repo root)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller iteration counts (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=None,
+        help="fraction of baseline throughput that still passes (default 0.5)",
+    )
     return parser
 
 
@@ -227,6 +251,12 @@ def _cmd_campaign(args, out) -> int:
         f"{len(campaign.failures)} failed, jobs={campaign.jobs}, "
         f"{campaign.elapsed:.2f}s\n"
     )
+    from repro.perf import PERF
+
+    # In-process counters only: with --jobs > 1 the trials run in forked
+    # workers, whose counters are not aggregated here.
+    scope = "in-process" if campaign.jobs == 1 else "coordinator only"
+    out.write(f"# perf ({scope}): {PERF.summary()}\n")
     for failure in campaign.failures:
         out.write(
             f"# FAILED {failure.task.scheme_label} "
@@ -234,6 +264,51 @@ def _cmd_campaign(args, out) -> int:
             f"after {failure.attempts} attempt(s): {failure.error}\n"
         )
     return 1 if campaign.failures else 0
+
+
+def _cmd_bench(args, out) -> int:
+    from pathlib import Path
+
+    from repro.perf import PERF
+    from repro.perf.bench import (
+        DEFAULT_TOLERANCE,
+        check,
+        format_results,
+        load_baseline,
+        run_suite,
+        write_baseline,
+    )
+
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:  # default: BENCH_wire.json next to the source tree
+        baseline_path = Path(__file__).resolve().parents[2] / "BENCH_wire.json"
+
+    PERF.reset()
+    results = run_suite(quick=args.quick)
+
+    baseline = load_baseline(baseline_path) if baseline_path.exists() else None
+    out.write(format_results(results, baseline) + "\n")
+    out.write(f"# perf: {PERF.summary()}\n")
+
+    if args.update:
+        write_baseline(baseline_path, results)
+        out.write(f"# baseline written to {baseline_path}\n")
+        return 0
+    if args.check:
+        if baseline is None:
+            out.write(f"# no baseline at {baseline_path}; run with --update\n")
+            return 1
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        failures = check(results, baseline, tolerance)
+        for failure in failures:
+            out.write(f"# REGRESSION {failure}\n")
+        if failures:
+            return 1
+        out.write(f"# bench check passed (tolerance {tolerance})\n")
+    return 0
 
 
 def _cmd_demo(args, out) -> int:
@@ -351,6 +426,8 @@ def main(argv: Optional[list[str]] = None, out=None) -> int:
         return _cmd_demo(args, out)
     if args.command == "campaign":
         return _cmd_campaign(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     if args.command == "analyze":
         from repro.analysis.forensics import OfflineArpAnalyzer
         from repro.analysis.pcap import read_pcap

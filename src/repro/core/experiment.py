@@ -460,8 +460,9 @@ def run_overhead(
     from repro.packets.ethernet import EtherType, EthernetFrame
 
     arp_frames = 0
-    for record in recorder.records[base_records:]:
-        frame = EthernetFrame.decode(record.frame)
+    for record in recorder.since(base_records):
+        # Lazy view: only the ethertype is inspected here.
+        frame = EthernetFrame.lazy(record.frame)
         if frame.ethertype == EtherType.ARP:
             arp_frames += 1
     return OverheadResult(

@@ -9,6 +9,7 @@ evaluation's overhead accounting observe traffic.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Optional
 
 from repro.errors import PortError, TopologyError
@@ -31,6 +32,7 @@ class Port:
         self.index = index
         self.name = name or f"{device.name}.eth{index}"
         self.link: Optional["Link"] = None
+        self.peer: Optional["Port"] = None  # opposite end, set by Link
         self.up = True
         self.tx_frames = 0
         self.rx_frames = 0
@@ -43,13 +45,12 @@ class Port:
 
     def transmit(self, data: bytes) -> None:
         """Send raw frame bytes out this port (no-op when down/unattached)."""
-        if not self.up:
-            return
-        if self.link is None:
+        link = self.link
+        if link is None or not self.up:
             return
         self.tx_frames += 1
         self.tx_bytes += len(data)
-        self.link.carry(self, data)
+        link.carry(self, data)
 
     def deliver(self, data: bytes) -> None:
         """Called by the link when a frame arrives at this port."""
@@ -98,8 +99,11 @@ class Link:
         self.latency = latency
         self.rate_bps = rate_bps
         self.recorder = recorder
+        self._seconds_per_byte = 8.0 / rate_bps
         a.link = self
         b.link = self
+        a.peer = b
+        b.peer = a
         self.frames_carried = 0
         self.bytes_carried = 0
 
@@ -112,20 +116,26 @@ class Link:
 
     def carry(self, sender: Port, data: bytes) -> None:
         """Propagate ``data`` from ``sender`` to the opposite port."""
-        receiver = self.other_end(sender)
+        receiver = sender.peer
+        if receiver is None:
+            receiver = self.other_end(sender)  # defensive; peers are set on link-up
         self.frames_carried += 1
         self.bytes_carried += len(data)
         if self.recorder is not None:
             self.recorder.record(
                 self.sim.now, sender.name, Direction.TX, data
             )
-        delay = self.latency + len(data) * 8 / self.rate_bps
-        self.sim.schedule(delay, lambda: receiver.deliver(data), name="link.carry")
+        delay = self.latency + len(data) * self._seconds_per_byte
+        # partial() instead of a lambda: the callback fires in C without an
+        # intermediate Python frame, and this is one event per frame hop.
+        self.sim.schedule(delay, partial(receiver.deliver, data), name="link.carry")
 
     def disconnect(self) -> None:
         """Tear the link down (cable pull)."""
         self.a.link = None
         self.b.link = None
+        self.a.peer = None
+        self.b.peer = None
 
     def __repr__(self) -> str:
         return f"Link({self.a.name} <-> {self.b.name})"

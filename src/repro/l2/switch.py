@@ -20,6 +20,7 @@ from repro.errors import CodecError, TopologyError
 from repro.l2.cam import CamTable, DEFAULT_AGING, DEFAULT_CAPACITY
 from repro.l2.device import Device, Port
 from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.perf import PERF
 from repro.sim.simulator import Simulator
 from repro.sim.trace import Direction, TraceRecorder
 
@@ -137,7 +138,9 @@ class Switch(Device):
     def on_frame(self, port: Port, data: bytes) -> None:
         self.recorder.record(self.sim.now, port.name, Direction.RX, data)
         try:
-            frame = EthernetFrame.decode(data)
+            # Lazy view: forwarding decisions need only the 14-byte header;
+            # the payload is materialized only if a filter/monitor reads it.
+            frame = EthernetFrame.lazy(data)
         except CodecError:
             self.undecodable_frames += 1
             return
@@ -146,11 +149,12 @@ class Switch(Device):
             self._vlan_on_frame(port, frame, data)
             return
 
-        for filt in list(self.ingress_filters):
-            if not filt(port, frame):
-                self.dropped_frames += 1
-                self._mirror(port, data)  # monitors still see dropped frames
-                return
+        if self.ingress_filters:
+            for filt in list(self.ingress_filters):
+                if not filt(port, frame):
+                    self.dropped_frames += 1
+                    self._mirror(port, data)  # monitors still see dropped frames
+                    return
 
         self.cam.learn(frame.src, port.index, self.sim.now)
         self._mirror(port, data)
@@ -196,11 +200,12 @@ class Switch(Device):
                 self.vlan_violations += 1  # native VLAN pruned off this trunk
                 return
 
-        for filt in list(self.ingress_filters):
-            if not filt(port, inner):
-                self.dropped_frames += 1
-                self._mirror(port, data)
-                return
+        if self.ingress_filters:
+            for filt in list(self.ingress_filters):
+                if not filt(port, inner):
+                    self.dropped_frames += 1
+                    self._mirror(port, data)
+                    return
 
         cam = self._cam_for(vid)
         cam.learn(inner.src, port.index, self.sim.now)
@@ -219,13 +224,34 @@ class Switch(Device):
         self._vlan_egress(out_index, inner, vid, tag_frame)
 
     def _vlan_flood(self, ingress: Port, inner: EthernetFrame, vid: int, tag_frame) -> None:
+        """Flood within a VLAN, serializing each egress form exactly once.
+
+        A flood to N trunk ports used to re-tag and re-encode the frame N
+        times; both the tagged and the untagged wire forms are now built
+        on first use and the same buffer is transmitted on every
+        remaining port.
+        """
         self.flooded_frames += 1
+        tagged: Optional[bytes] = None
+        untagged: Optional[bytes] = None
         for port in self.ports:
             if port.index == ingress.index or port.index == self._mirror_target:
                 continue
             if not self._port_carries(port.index, vid):
                 continue
-            self._vlan_egress(port.index, inner, vid, tag_frame)
+            role, _ = self._port_role(port.index)
+            if role == "trunk" and vid != 1:  # native VLAN leaves untagged
+                if tagged is None:
+                    tagged = tag_frame(inner, vid).encode()
+                else:
+                    PERF.flood_buffer_reuses += 1
+                port.transmit(tagged)
+            else:
+                if untagged is None:
+                    untagged = inner.encode()
+                else:
+                    PERF.flood_buffer_reuses += 1
+                port.transmit(untagged)
 
     def _vlan_egress(self, port_index: int, inner: EthernetFrame, vid: int, tag_frame) -> None:
         role, _ = self._port_role(port_index)
@@ -236,12 +262,15 @@ class Switch(Device):
 
     def _flood(self, ingress: Port, data: bytes) -> None:
         self.flooded_frames += 1
+        egress = 0
         for port in self.ports:
             if port.index == ingress.index:
                 continue
             if port.index == self._mirror_target:
                 continue  # mirror port gets its copy via _mirror()
+            egress += 1
             port.transmit(data)
+        PERF.flood_buffer_reuses += egress  # ingress buffer, never re-encoded
 
     def _send(self, port_index: int, data: bytes) -> None:
         self.ports[port_index].transmit(data)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 import re
-from functools import total_ordering
+from functools import lru_cache, total_ordering
 from typing import Iterator, Optional, Union
 
 from repro.errors import AddressError
@@ -23,7 +23,12 @@ __all__ = [
     "ZERO_MAC",
     "ZERO_IP",
     "BROADCAST_IP",
+    "intern_stats",
 ]
+
+#: Bound on each intern cache; a LAN simulation touches far fewer distinct
+#: addresses, so in practice the caches never evict.
+_INTERN_CAPACITY = 8192
 
 _MAC_RE = re.compile(r"^([0-9A-Fa-f]{2})([:\-][0-9A-Fa-f]{2}){5}$")
 
@@ -37,7 +42,7 @@ class MacAddress:
     ``aa-bb-cc-dd-ee-ff`` form.
     """
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_packed")
 
     def __init__(self, value: Union["MacAddress", bytes, int, str]) -> None:
         if isinstance(value, MacAddress):
@@ -56,12 +61,26 @@ class MacAddress:
             self._value = int(value.replace("-", ":").replace(":", ""), 16)
         else:
             raise AddressError(f"cannot build MacAddress from {type(value).__name__}")
+        self._packed: Optional[bytes] = None
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "MacAddress":
+        """Interned constructor for the 6-byte wire encoding.
+
+        Codecs parse the same handful of addresses over and over; this
+        returns a shared instance per distinct wire value (bounded LRU)
+        instead of re-parsing and re-allocating on every frame.
+        """
+        return _intern_mac(bytes(data))
 
     # -- representation -------------------------------------------------
     @property
     def packed(self) -> bytes:
-        """The 6-byte wire encoding."""
-        return self._value.to_bytes(6, "big")
+        """The 6-byte wire encoding (computed once per instance)."""
+        packed = self._packed
+        if packed is None:
+            packed = self._packed = self._value.to_bytes(6, "big")
+        return packed
 
     def __str__(self) -> str:
         raw = f"{self._value:012x}"
@@ -134,7 +153,7 @@ ZERO_MAC = MacAddress("00:00:00:00:00:00")
 class Ipv4Address:
     """A 32-bit IPv4 address."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_packed")
 
     def __init__(self, value: Union["Ipv4Address", bytes, int, str]) -> None:
         if isinstance(value, Ipv4Address):
@@ -162,10 +181,20 @@ class Ipv4Address:
             self._value = acc
         else:
             raise AddressError(f"cannot build Ipv4Address from {type(value).__name__}")
+        self._packed: Optional[bytes] = None
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Ipv4Address":
+        """Interned constructor for the 4-byte wire encoding (see
+        :meth:`MacAddress.from_wire`)."""
+        return _intern_ip(bytes(data))
 
     @property
     def packed(self) -> bytes:
-        return self._value.to_bytes(4, "big")
+        packed = self._packed
+        if packed is None:
+            packed = self._packed = self._value.to_bytes(4, "big")
+        return packed
 
     def __str__(self) -> str:
         v = self._value
@@ -208,6 +237,27 @@ class Ipv4Address:
 
 ZERO_IP = Ipv4Address("0.0.0.0")
 BROADCAST_IP = Ipv4Address("255.255.255.255")
+
+
+@lru_cache(maxsize=_INTERN_CAPACITY)
+def _intern_mac(packed: bytes) -> MacAddress:
+    return MacAddress(packed)
+
+
+@lru_cache(maxsize=_INTERN_CAPACITY)
+def _intern_ip(packed: bytes) -> Ipv4Address:
+    return Ipv4Address(packed)
+
+
+def intern_stats() -> tuple[int, int]:
+    """Aggregate ``(hits, misses)`` across both address intern caches.
+
+    Read by :data:`repro.perf.PERF` to report the intern hit rate; cache
+    maintenance itself is handled entirely by :func:`functools.lru_cache`.
+    """
+    mac_info = _intern_mac.cache_info()
+    ip_info = _intern_ip.cache_info()
+    return (mac_info.hits + ip_info.hits, mac_info.misses + ip_info.misses)
 
 
 class Ipv4Network:

@@ -20,7 +20,7 @@ from typing import Optional
 
 from repro.errors import CodecError
 from repro.net.addresses import Ipv4Address, MacAddress
-from repro.packets.base import Reader
+from repro.packets.base import Reader, memoized_encode
 
 __all__ = ["ArpOp", "ArpExtension", "ArpPacket", "SARP_MAGIC", "TARP_MAGIC"]
 
@@ -30,6 +30,9 @@ _KNOWN_MAGICS = (SARP_MAGIC, TARP_MAGIC)
 
 _HTYPE_ETHERNET = 1
 _PTYPE_IPV4 = 0x0800
+
+_BODY = struct.Struct("!HHBBH6s4s6s4s")
+_EXT_LEN = struct.Struct("!H")
 
 
 class ArpOp:
@@ -57,7 +60,7 @@ class ArpExtension:
             raise CodecError("ARP extension payload too large")
 
     def encode(self) -> bytes:
-        return self.magic + struct.pack("!H", len(self.payload)) + self.payload
+        return self.magic + _EXT_LEN.pack(len(self.payload)) + self.payload
 
 
 @dataclass(frozen=True)
@@ -82,9 +85,9 @@ class ArpPacket:
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
+    @memoized_encode
     def encode(self) -> bytes:
-        body = struct.pack(
-            "!HHBBH6s4s6s4s",
+        body = _BODY.pack(
             _HTYPE_ETHERNET,
             _PTYPE_IPV4,
             6,
@@ -102,25 +105,25 @@ class ArpPacket:
     @classmethod
     def decode(cls, data: bytes) -> "ArpPacket":
         reader = Reader(data, context="arp")
-        htype = reader.u16()
-        ptype = reader.u16()
-        hlen = reader.u8()
-        plen = reader.u8()
+        body = reader.take(_BODY.size)
+        htype, ptype, hlen, plen, op, sha, spa, tha, tpa = _BODY.unpack(body)
         if htype != _HTYPE_ETHERNET or ptype != _PTYPE_IPV4:
             raise CodecError(
                 f"unsupported ARP htype/ptype {htype}/0x{ptype:04x}"
             )
         if hlen != 6 or plen != 4:
             raise CodecError(f"unsupported ARP address lengths {hlen}/{plen}")
-        op = reader.u16()
         if op not in (ArpOp.REQUEST, ArpOp.REPLY):
             raise CodecError(f"unsupported ARP op {op}")
-        sha = MacAddress(reader.take(6))
-        spa = Ipv4Address(reader.take(4))
-        tha = MacAddress(reader.take(6))
-        tpa = Ipv4Address(reader.take(4))
         extension = cls._decode_extension(reader)
-        return cls(op=op, sha=sha, spa=spa, tha=tha, tpa=tpa, extension=extension)
+        return cls(
+            op=op,
+            sha=MacAddress.from_wire(sha),
+            spa=Ipv4Address.from_wire(spa),
+            tha=MacAddress.from_wire(tha),
+            tpa=Ipv4Address.from_wire(tpa),
+            extension=extension,
+        )
 
     @staticmethod
     def _decode_extension(reader: Reader) -> Optional[ArpExtension]:

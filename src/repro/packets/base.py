@@ -10,11 +10,13 @@ the property-based test suite enforces this.
 from __future__ import annotations
 
 import struct
-from typing import Protocol, runtime_checkable
+from functools import lru_cache
+from typing import Callable, Protocol, TypeVar, runtime_checkable
 
 from repro.errors import TruncatedPacketError
+from repro.perf import PERF
 
-__all__ = ["Wire", "internet_checksum", "Reader"]
+__all__ = ["Wire", "internet_checksum", "Reader", "memoized_encode"]
 
 
 @runtime_checkable
@@ -25,17 +27,57 @@ class Wire(Protocol):
         ...
 
 
+@lru_cache(maxsize=512)
+def _word_struct(count: int) -> struct.Struct:
+    """Precompiled big-endian 16-bit word unpacker for ``count`` words."""
+    return struct.Struct(f"!{count}H")
+
+
 def internet_checksum(data: bytes) -> int:
     """RFC 1071 ones-complement checksum over ``data``.
 
-    Odd-length buffers are zero-padded on the right, per the RFC.
+    Odd-length buffers are treated as zero-padded on the right, per the
+    RFC — without materializing a padded copy of the input: the even
+    prefix is summed in place and the trailing byte is folded in as the
+    high half of a final word.
     """
-    if len(data) % 2:
-        data += b"\x00"
-    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    length = len(data)
+    even = length & ~1
+    total = sum(_word_struct(even // 2).unpack_from(data))
+    if length & 1:
+        total += data[-1] << 8
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return ~total & 0xFFFF
+
+
+_T = TypeVar("_T")
+
+
+def memoized_encode(build: Callable[[_T], bytes]) -> Callable[[_T], bytes]:
+    """Decorator: cache a frozen packet's serialization on the instance.
+
+    Packet objects are immutable, so their wire bytes are a pure function
+    of the instance — a frame built once and transmitted N times (floods,
+    retries, periodic announcements) only pays for serialization once.
+    The cache rides in the instance ``__dict__`` under ``_wire``, so it is
+    invisible to dataclass equality/repr and is not carried across
+    ``dataclasses.replace``.
+    """
+
+    def encode(self: _T) -> bytes:
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            wire = build(self)
+            object.__setattr__(self, "_wire", wire)
+            PERF.packet_encodes += 1
+        else:
+            PERF.encodes_avoided += 1
+        return wire
+
+    encode.__doc__ = build.__doc__
+    encode.__name__ = build.__name__
+    return encode
 
 
 class Reader:

@@ -10,9 +10,11 @@ import struct
 from dataclasses import dataclass
 
 from repro.errors import ChecksumError, CodecError
-from repro.packets.base import Reader, internet_checksum
+from repro.packets.base import Reader, internet_checksum, memoized_encode
 
 __all__ = ["IcmpType", "IcmpMessage"]
+
+_HEADER = struct.Struct("!BBHI")
 
 
 class IcmpType:
@@ -52,13 +54,12 @@ class IcmpMessage:
         if not 0 <= self.rest_of_header <= 0xFFFFFFFF:
             raise CodecError("icmp: rest-of-header out of range")
 
+    @memoized_encode
     def encode(self) -> bytes:
-        header = struct.pack(
-            "!BBHI", self.icmp_type, self.code, 0, self.rest_of_header
-        )
+        header = _HEADER.pack(self.icmp_type, self.code, 0, self.rest_of_header)
         checksum = internet_checksum(header + self.payload)
-        header = struct.pack(
-            "!BBHI", self.icmp_type, self.code, checksum, self.rest_of_header
+        header = _HEADER.pack(
+            self.icmp_type, self.code, checksum, self.rest_of_header
         )
         return header + self.payload
 

@@ -12,9 +12,12 @@ from dataclasses import dataclass, field
 
 from repro.errors import ChecksumError, CodecError
 from repro.net.addresses import Ipv4Address
-from repro.packets.base import Reader, internet_checksum
+from repro.packets.base import Reader, internet_checksum, memoized_encode
 
 __all__ = ["IpProto", "Ipv4Packet"]
+
+_HEADER = struct.Struct("!BBHHHBBH4s4s")
+_CHECKSUM = struct.Struct("!H")
 
 
 class IpProto:
@@ -58,10 +61,13 @@ class Ipv4Packet:
     def total_length(self) -> int:
         return self.header_length + len(self.payload)
 
+    @memoized_encode
     def encode(self) -> bytes:
         flags_frag = (0x4000 if self.dont_fragment else 0) & 0xFFFF
-        header = struct.pack(
-            "!BBHHHBBH4s4s",
+        buffer = bytearray(_HEADER.size + len(self.payload))
+        _HEADER.pack_into(
+            buffer,
+            0,
             (4 << 4) | 5,  # version 4, IHL 5 words
             self.dscp << 2,
             self.total_length,
@@ -73,32 +79,34 @@ class Ipv4Packet:
             self.src.packed,
             self.dst.packed,
         )
-        checksum = internet_checksum(header)
-        header = header[:10] + struct.pack("!H", checksum) + header[12:]
-        return header + self.payload
+        _CHECKSUM.pack_into(buffer, 10, internet_checksum(memoryview(buffer)[:20]))
+        buffer[20:] = self.payload
+        return bytes(buffer)
 
     @classmethod
     def decode(cls, data: bytes, verify_checksum: bool = True) -> "Ipv4Packet":
-        reader = Reader(data, context="ipv4")
-        header = reader.peek(20)
-        if len(header) < 20:
+        if len(data) < 20:
             raise CodecError("ipv4: header shorter than 20 bytes")
-        version_ihl = reader.u8()
+        (
+            version_ihl,
+            dscp_ecn,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            proto,
+            _checksum,  # verified over the raw header below
+            src,
+            dst,
+        ) = _HEADER.unpack_from(data)
         version = version_ihl >> 4
         ihl = version_ihl & 0x0F
         if version != 4:
             raise CodecError(f"ipv4: version field is {version}")
         if ihl < 5:
             raise CodecError(f"ipv4: IHL {ihl} below minimum")
-        dscp_ecn = reader.u8()
-        total_length = reader.u16()
-        identification = reader.u16()
-        flags_frag = reader.u16()
-        ttl = reader.u8()
-        proto = reader.u8()
-        reader.u16()  # checksum (verified over the raw header below)
-        src = Ipv4Address(reader.take(4))
-        dst = Ipv4Address(reader.take(4))
+        reader = Reader(data, context="ipv4")
+        reader.take(20)
         if ihl > 5:
             reader.take((ihl - 5) * 4)  # skip options
         if verify_checksum and internet_checksum(data[: ihl * 4]) != 0:
@@ -108,8 +116,8 @@ class Ipv4Packet:
         payload_length = total_length - ihl * 4
         payload = reader.take(min(payload_length, reader.remaining))
         return cls(
-            src=src,
-            dst=dst,
+            src=Ipv4Address.from_wire(src),
+            dst=Ipv4Address.from_wire(dst),
             proto=proto,
             payload=payload,
             ttl=ttl,

@@ -16,8 +16,12 @@ from typing import Optional
 from repro.errors import ChecksumError, CodecError
 from repro.net.addresses import Ipv4Address
 from repro.packets.base import Reader, internet_checksum
+from repro.perf import PERF
 
 __all__ = ["TcpFlags", "TcpSegment"]
+
+_HEADER = struct.Struct("!HHIIBBHHH")
+_PSEUDO = struct.Struct("!BBH")
 
 
 class TcpFlags:
@@ -47,7 +51,7 @@ class TcpFlags:
 
 
 def _pseudo_header(src: Ipv4Address, dst: Ipv4Address, length: int) -> bytes:
-    return src.packed + dst.packed + struct.pack("!BBH", 0, 6, length)
+    return src.packed + dst.packed + _PSEUDO.pack(0, 6, length)
 
 
 @dataclass(frozen=True)
@@ -78,8 +82,7 @@ class TcpSegment:
         return 20 + len(self.payload)
 
     def _header(self, checksum: int) -> bytes:
-        return struct.pack(
-            "!HHIIBBHHH",
+        return _HEADER.pack(
             self.src_port,
             self.dst_port,
             self.seq,
@@ -97,9 +100,20 @@ class TcpSegment:
         dst_ip: Optional[Ipv4Address] = None,
     ) -> bytes:
         if src_ip is None or dst_ip is None:
-            return self._header(0) + self.payload
+            # The zero-checksum form is a pure function of the (frozen)
+            # segment, so it memoizes like the argument-less codecs do;
+            # the pseudo-header form depends on the IPs and is rebuilt.
+            wire = self.__dict__.get("_wire")
+            if wire is None:
+                wire = self._header(0) + self.payload
+                object.__setattr__(self, "_wire", wire)
+                PERF.packet_encodes += 1
+            else:
+                PERF.encodes_avoided += 1
+            return wire
         pseudo = _pseudo_header(src_ip, dst_ip, self.length)
         checksum = internet_checksum(pseudo + self._header(0) + self.payload)
+        PERF.packet_encodes += 1
         return self._header(checksum) + self.payload
 
     @classmethod

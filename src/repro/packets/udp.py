@@ -14,12 +14,16 @@ from typing import Optional
 from repro.errors import ChecksumError, CodecError
 from repro.net.addresses import Ipv4Address
 from repro.packets.base import Reader, internet_checksum
+from repro.perf import PERF
 
 __all__ = ["UdpDatagram"]
 
+_HEADER = struct.Struct("!HHHH")
+_PSEUDO = struct.Struct("!BBH")
+
 
 def _pseudo_header(src: Ipv4Address, dst: Ipv4Address, length: int) -> bytes:
-    return src.packed + dst.packed + struct.pack("!BBH", 0, 17, length)
+    return src.packed + dst.packed + _PSEUDO.pack(0, 17, length)
 
 
 @dataclass(frozen=True)
@@ -44,16 +48,26 @@ class UdpDatagram:
         src_ip: Optional[Ipv4Address] = None,
         dst_ip: Optional[Ipv4Address] = None,
     ) -> bytes:
-        header = struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
         if src_ip is None or dst_ip is None:
-            return header + self.payload
+            # Checksum-less form is a pure function of the frozen datagram.
+            wire = self.__dict__.get("_wire")
+            if wire is None:
+                header = _HEADER.pack(self.src_port, self.dst_port, self.length, 0)
+                wire = header + self.payload
+                object.__setattr__(self, "_wire", wire)
+                PERF.packet_encodes += 1
+            else:
+                PERF.encodes_avoided += 1
+            return wire
+        header = _HEADER.pack(self.src_port, self.dst_port, self.length, 0)
         pseudo = _pseudo_header(src_ip, dst_ip, self.length)
         checksum = internet_checksum(pseudo + header + self.payload)
         if checksum == 0:  # RFC 768: transmitted zero means "no checksum"
             checksum = 0xFFFF
-        header = struct.pack(
-            "!HHHH", self.src_port, self.dst_port, self.length, checksum
+        header = _HEADER.pack(
+            self.src_port, self.dst_port, self.length, checksum
         )
+        PERF.packet_encodes += 1
         return header + self.payload
 
     @classmethod

@@ -1,0 +1,127 @@
+"""Wire fast-path performance counters.
+
+The hot path of the simulation is the L2 wire: every frame hop encodes,
+carries, and decodes bytes.  The fast path introduced with this module
+avoids most of that work — immutable packets memoize their serialization,
+received frames are parsed lazily (header first, payload only on demand),
+floods reuse a single encoded buffer, and hot addresses are interned.
+
+:data:`PERF` is the process-global counter block those optimizations
+report into.  It answers "did the fast path actually engage?" without a
+profiler: encodes avoided, payload decodes skipped, flood buffers reused
+and the address-intern hit rate.  Counters are plain attribute increments
+so the instrumentation itself stays off the profile.
+
+Counters are cumulative for the process; :meth:`PerfCounters.reset`
+re-baselines everything (including the intern-cache statistics, which
+live in :mod:`repro.net.addresses`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["PerfCounters", "PERF"]
+
+
+class PerfCounters:
+    """Process-wide counters for the wire fast path."""
+
+    __slots__ = (
+        "packet_encodes",
+        "encodes_avoided",
+        "lazy_frames",
+        "payload_decodes",
+        "eager_decodes",
+        "flood_buffer_reuses",
+        "_intern_hits_base",
+        "_intern_misses_base",
+    )
+
+    def __init__(self) -> None:
+        self.packet_encodes = 0
+        self.encodes_avoided = 0
+        self.lazy_frames = 0
+        self.payload_decodes = 0
+        self.eager_decodes = 0
+        self.flood_buffer_reuses = 0
+        self._intern_hits_base = 0
+        self._intern_misses_base = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter and re-baseline the intern statistics."""
+        hits, misses = self._intern_totals()
+        self.packet_encodes = 0
+        self.encodes_avoided = 0
+        self.lazy_frames = 0
+        self.payload_decodes = 0
+        self.eager_decodes = 0
+        self.flood_buffer_reuses = 0
+        self._intern_hits_base = hits
+        self._intern_misses_base = misses
+
+    @staticmethod
+    def _intern_totals() -> tuple[int, int]:
+        from repro.net.addresses import intern_stats
+
+        return intern_stats()
+
+    # ------------------------------------------------------------------
+    @property
+    def lazy_decodes_skipped(self) -> int:
+        """Lazy frame views whose payload was never materialized."""
+        return max(0, self.lazy_frames - self.payload_decodes)
+
+    @property
+    def intern_hits(self) -> int:
+        return self._intern_totals()[0] - self._intern_hits_base
+
+    @property
+    def intern_misses(self) -> int:
+        return self._intern_totals()[1] - self._intern_misses_base
+
+    @property
+    def intern_hit_rate(self) -> float:
+        hits, misses = self.intern_hits, self.intern_misses
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def encode_memo_rate(self) -> float:
+        total = self.packet_encodes + self.encodes_avoided
+        return self.encodes_avoided / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe point-in-time view of every counter."""
+        return {
+            "packet_encodes": self.packet_encodes,
+            "encodes_avoided": self.encodes_avoided,
+            "encode_memo_rate": round(self.encode_memo_rate, 4),
+            "lazy_frames": self.lazy_frames,
+            "payload_decodes": self.payload_decodes,
+            "lazy_decodes_skipped": self.lazy_decodes_skipped,
+            "eager_decodes": self.eager_decodes,
+            "flood_buffer_reuses": self.flood_buffer_reuses,
+            "intern_hits": self.intern_hits,
+            "intern_misses": self.intern_misses,
+            "intern_hit_rate": round(self.intern_hit_rate, 4),
+        }
+
+    def summary(self) -> str:
+        """One-line human summary (used by campaign reports)."""
+        return (
+            f"encodes={self.packet_encodes} "
+            f"avoided={self.encodes_avoided} ({self.encode_memo_rate:.0%} memoized), "
+            f"lazy-views={self.lazy_frames} "
+            f"payload-decodes-skipped={self.lazy_decodes_skipped}, "
+            f"flood-buffer-reuses={self.flood_buffer_reuses}, "
+            f"intern-hit-rate={self.intern_hit_rate:.0%}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerfCounters({self.snapshot()})"
+
+
+#: The process-global counter block every fast-path site reports into.
+PERF = PerfCounters()

@@ -4,14 +4,27 @@ A :class:`TraceRecorder` is attached wherever frames should be observable
 (links, switch ports, host NICs).  Records carry the simulated timestamp,
 the capture location, direction, and the raw frame bytes, so a detector
 operating on a capture sees exactly what a sniffer on a mirror port would.
+
+Storage is a bounded ring: once ``capacity`` records are held, each new
+capture evicts the oldest (like a sniffer's ring buffer) and bumps
+:attr:`TraceRecorder.dropped`.  The default capacity (:data:`DEFAULT_CAPACITY`,
+256 Ki records) is far above what any scenario in the suite produces, so
+captures are effectively complete unless a caller opts into a tighter
+bound; pass ``capacity=None`` for a truly unbounded recorder.  Live taps
+always see every record regardless of eviction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Optional
+from collections import deque
+from typing import Callable, Deque, Iterable, Iterator, NamedTuple, Optional
 
-__all__ = ["TraceRecord", "TraceRecorder", "Direction"]
+__all__ = ["TraceRecord", "TraceRecorder", "Direction", "DEFAULT_CAPACITY"]
+
+#: Default ring size.  Large enough that every scenario shipped with the
+#: repo captures losslessly (the heaviest campaign run records ~10^5
+#: frames per switch), small enough to bound a runaway soak test.
+DEFAULT_CAPACITY = 1 << 18
 
 
 class Direction:
@@ -21,9 +34,13 @@ class Direction:
     RX = "rx"
 
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One captured frame."""
+class TraceRecord(NamedTuple):
+    """One captured frame.
+
+    A named tuple rather than a dataclass: one record is created per
+    frame per capture point, so construction cost is on the wire fast
+    path, and tuple ``__new__`` runs in C.
+    """
 
     time: float
     location: str
@@ -41,13 +58,25 @@ class TraceRecorder:
     Live taps (callables) receive each record as it is captured; detectors
     that need to react in simulated real time subscribe as taps, while
     offline analysis reads :attr:`records` afterwards.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained.  When full, the *oldest* record is
+        evicted to admit the new one (ring-buffer semantics) and
+        :attr:`dropped` is incremented.  ``None`` disables the bound.
     """
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
-        self.records: List[TraceRecord] = []
-        self._taps: List[Callable[[TraceRecord], None]] = []
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._taps: list[Callable[[TraceRecord], None]] = []
         self._capacity = capacity
         self.dropped = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """The configured ring size (``None`` means unbounded)."""
+        return self._capacity
 
     def tap(self, callback: Callable[[TraceRecord], None]) -> Callable[[], None]:
         """Subscribe a live callback; returns an unsubscribe callable."""
@@ -68,15 +97,15 @@ class TraceRecorder:
         note: str = "",
     ) -> TraceRecord:
         """Capture one frame and notify taps."""
-        rec = TraceRecord(
-            time=time, location=location, direction=direction, frame=frame, note=note
-        )
-        if self._capacity is not None and len(self.records) >= self._capacity:
-            self.dropped += 1
-        else:
-            self.records.append(rec)
-        for tap in list(self._taps):
-            tap(rec)
+        rec = TraceRecord(time, location, direction, frame, note)
+        records = self.records
+        maxlen = records.maxlen
+        if maxlen is not None and len(records) == maxlen:
+            self.dropped += 1  # deque evicts the oldest on append
+        records.append(rec)
+        if self._taps:
+            for tap in list(self._taps):
+                tap(rec)
         return rec
 
     # ------------------------------------------------------------------
@@ -87,6 +116,13 @@ class TraceRecorder:
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
+
+    def since(self, index: int) -> Iterator[TraceRecord]:
+        """Records from position ``index`` onward (deques don't slice)."""
+        it = iter(self.records)
+        for _ in range(index):
+            next(it, None)
+        return it
 
     def between(self, start: float, end: float) -> Iterable[TraceRecord]:
         """Records with ``start <= time < end``."""

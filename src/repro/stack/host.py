@@ -191,14 +191,31 @@ class Host(Device):
     # Frame input
     # ==================================================================
     def on_frame(self, port: Port, data: bytes) -> None:
+        if (
+            not self.frame_taps
+            and not self.promiscuous
+            and len(data) >= 14
+            and not data[0] & 1  # I/G bit clear: unicast destination
+            and data[:6] != self.mac.packed
+        ):
+            # NIC-level filter: a non-promiscuous NIC drops foreign
+            # unicast by comparing the first six wire bytes — no frame
+            # object is built and nothing is captured, exactly like a
+            # sniffer running without promiscuous mode.  Taps or the
+            # promiscuous flag disable the filter.
+            return
         self.recorder.record(self.sim.now, self.name, Direction.RX, data)
         try:
-            frame = EthernetFrame.decode(data)
+            # Lazy view: only the 14-byte header is parsed here.  A frame
+            # this host drops (foreign unicast, unhandled ethertype) is
+            # discarded without the payload ever being materialized.
+            frame = EthernetFrame.lazy(data)
         except CodecError:
             self.counters["decode_errors"] += 1
             return
-        for tap in list(self.frame_taps):
-            tap(frame, data)
+        if self.frame_taps:
+            for tap in list(self.frame_taps):
+                tap(frame, data)
         addressed = frame.dst == self.mac or frame.dst.is_multicast
         if not addressed:
             # NIC in non-promiscuous mode filters foreign unicast; in

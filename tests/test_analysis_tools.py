@@ -120,9 +120,11 @@ class TestTraceRecorder:
     def test_capacity_drops_overflow(self):
         recorder = TraceRecorder(capacity=2)
         for i in range(5):
-            recorder.record(float(i), "x", Direction.TX, b"z")
+            recorder.record(float(i), "x", Direction.TX, bytes([i]))
         assert len(recorder) == 2
         assert recorder.dropped == 3
+        # Ring semantics: the oldest records are the ones evicted.
+        assert [r.frame for r in recorder.records] == [b"\x03", b"\x04"]
 
     def test_queries(self):
         recorder = TraceRecorder()

@@ -116,3 +116,45 @@ class TestCommands:
         text = run_cli("analyze", str(pcap))
         assert "rebinding events:" in text
         assert "changed" in text or "flip-flop" in text
+
+
+class TestBenchCommand:
+    def test_update_then_check_roundtrip(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        text = run_cli("bench", "--quick", "--update", "--baseline", str(baseline))
+        assert "broadcast_flood_deliveries" in text
+        assert baseline.exists()
+
+        text = run_cli(
+            "bench", "--quick", "--check", "--baseline", str(baseline),
+            "--tolerance", "0.05",
+        )
+        assert "bench check passed" in text
+        assert "x baseline" in text  # ratio column rendered
+        assert "# perf:" in text
+
+    def test_check_without_baseline_fails(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["bench", "--quick", "--check", "--baseline",
+             str(tmp_path / "missing.json")],
+            out=out,
+        )
+        assert code == 1
+        assert "no baseline" in out.getvalue()
+
+    def test_regression_detected(self, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "meta": {},
+            "results": {"decode_frame_eager": 1e12},  # impossible bar
+        }))
+        out = io.StringIO()
+        code = main(
+            ["bench", "--quick", "--check", "--baseline", str(baseline)],
+            out=out,
+        )
+        assert code == 1
+        assert "REGRESSION decode_frame_eager" in out.getvalue()

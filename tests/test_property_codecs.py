@@ -133,6 +133,52 @@ def test_dhcp_roundtrip(mac, xid, requested, server):
     assert decoded.server_id == server
 
 
+@given(macs, macs, st.integers(min_value=0x0600, max_value=0xFFFF), payloads)
+def test_lazy_view_equivalent_to_eager_decode(dst, src, ethertype, payload):
+    """A FrameView agrees with the eager decode on every field and on
+    equality in both directions, and re-encodes to the same bytes."""
+    wire = EthernetFrame(dst=dst, src=src, ethertype=ethertype, payload=payload).encode()
+    eager = EthernetFrame.decode(wire)
+    view = EthernetFrame.lazy(wire)
+    assert view.dst == eager.dst and view.src == eager.src
+    assert view.ethertype == eager.ethertype
+    assert view == eager and eager == view
+    assert view.payload == eager.payload
+    assert view.encode() == wire == eager.encode()
+    assert view.materialize() == eager
+
+
+@given(
+    st.binary(min_size=12, max_size=12),
+    st.integers(min_value=0x0600, max_value=0xFFFF),
+    st.binary(max_size=186),
+)
+def test_lazy_view_of_arbitrary_wire_bytes(addrs, ethertype, tail):
+    """Any buffer with a plausible header yields a view whose fields match
+    the eager decode of the same buffer (padding and truncation included)."""
+    import struct
+
+    data = addrs + struct.pack("!H", ethertype) + tail
+    view = EthernetFrame.lazy(data)
+    eager = EthernetFrame.decode(data)
+    assert view.dst == eager.dst and view.src == eager.src
+    assert view.ethertype == eager.ethertype
+    assert view.payload == eager.payload
+
+
+@given(st.binary(max_size=2048))
+def test_checksum_matches_reference(data):
+    """The struct-vectorized checksum equals the word-at-a-time RFC 1071
+    reference for every length, odd ones included."""
+    total = 0
+    padded = data if len(data) % 2 == 0 else data + b"\x00"
+    for i in range(0, len(padded), 2):
+        total += (padded[i] << 8) | padded[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    assert internet_checksum(data) == ~total & 0xFFFF
+
+
 @given(st.binary(max_size=60))
 def test_arp_decode_never_crashes_unexpectedly(data):
     """Arbitrary bytes either decode or raise CodecError — nothing else."""
