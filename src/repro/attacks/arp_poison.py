@@ -200,4 +200,6 @@ class ArpPoisoner(Attack):
             payload=arp.encode(),
         )
         self.frames_sent += 1
-        self.attacker.transmit_frame(frame)
+        # The provenance origin is what scheme-alert audit trails resolve
+        # back to: "this alert was caused by attack:arp-poison/reply".
+        self.attacker.transmit_frame(frame, origin=f"attack:{self.kind}")

@@ -88,7 +88,7 @@ class ArpScan(Attack):
             payload=request.encode(),
         )
         self.frames_sent += 1
-        self.attacker.transmit_frame(frame)
+        self.attacker.transmit_frame(frame, origin=f"attack:{self.kind}")
 
     def _on_frame(self, frame: EthernetFrame, raw: bytes) -> None:
         if frame.ethertype != EtherType.ARP:

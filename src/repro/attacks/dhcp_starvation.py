@@ -124,4 +124,4 @@ class DhcpStarvation(Attack):
             payload=packet.encode(),
         )
         self.frames_sent += 1
-        self.attacker.transmit_frame(frame)
+        self.attacker.transmit_frame(frame, origin=f"attack:{self.kind}")

@@ -73,4 +73,4 @@ class MacFlood(Attack):
             payload=packet.encode(),
         )
         self.frames_sent += 1
-        self.attacker.transmit_frame(frame)
+        self.attacker.transmit_frame(frame, origin=f"attack:{self.kind}")

@@ -74,4 +74,4 @@ class NeighborExhaustion(Attack):
                 payload=announcement.encode(),
             )
             self.frames_sent += 1
-            self.attacker.transmit_frame(frame)
+            self.attacker.transmit_frame(frame, origin=f"attack:{self.kind}")

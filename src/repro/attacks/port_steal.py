@@ -88,4 +88,4 @@ class PortStealing(Attack):
                     payload=b"port-steal",
                 )
                 self.frames_sent += 1
-                self.attacker.transmit_frame(frame)
+                self.attacker.transmit_frame(frame, origin=f"attack:{self.kind}")

@@ -23,7 +23,13 @@ See ``docs/campaigns.md`` for the spec format, determinism guarantees,
 and cache-key semantics.
 """
 
-from repro.campaign.aggregate import CellAggregate, MetricStats, aggregate, to_artifact
+from repro.campaign.aggregate import (
+    CellAggregate,
+    MetricStats,
+    aggregate,
+    publish_metrics,
+    to_artifact,
+)
 from repro.campaign.cache import ResultCache, code_fingerprint
 from repro.campaign.runner import CampaignResult, TaskFailure, run_campaign
 from repro.campaign.spec import (
@@ -51,6 +57,7 @@ __all__ = [
     "code_fingerprint",
     "derive_seed",
     "execute_task",
+    "publish_metrics",
     "run_campaign",
     "to_artifact",
 ]

@@ -24,7 +24,13 @@ from repro.core.experiment import result_from_dict
 from repro.core.metrics import percentile
 from repro.core.report import Artifact
 
-__all__ = ["MetricStats", "CellAggregate", "aggregate", "to_artifact"]
+__all__ = [
+    "MetricStats",
+    "CellAggregate",
+    "aggregate",
+    "to_artifact",
+    "publish_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +104,46 @@ def aggregate(campaign: CampaignResult) -> List[CellAggregate]:
             )
         )
     return out
+
+
+def publish_metrics(campaign: CampaignResult) -> int:
+    """Fold a campaign's per-trial results into the metrics registry.
+
+    Emits per-cell detection-latency histograms
+    (``campaign_detection_latency_seconds{scheme,variant}``) and per-cell
+    alert totals (``campaign_alerts_total{scheme,variant,truth}``), which
+    a Prometheus dump (``repro campaign --metrics-out``) turns into the
+    audit-trail numbers next to the aggregate table.  Returns the number
+    of observations published.
+    """
+    from repro.obs.registry import REGISTRY
+
+    latency = REGISTRY.histogram(
+        "campaign_detection_latency_seconds",
+        "Detection latency per campaign cell",
+        labels=("scheme", "variant"),
+    )
+    alerts = REGISTRY.counter(
+        "campaign_alerts_total",
+        "Alerts per campaign cell, split into true/false positives",
+        labels=("scheme", "variant", "truth"),
+    )
+    published = 0
+    for task, payload in campaign.completed_in_order():
+        result = result_from_dict(payload)
+        scheme, variant = task.cell
+        value = getattr(result, "detection_latency", None)
+        if value is not None:
+            latency.labels(scheme=scheme, variant=variant).observe(float(value))
+            published += 1
+        for field_name, truth in (("tp_alerts", "true"), ("fp_alerts", "false")):
+            count = getattr(result, field_name, None)
+            if count:
+                alerts.labels(scheme=scheme, variant=variant, truth=truth).inc(
+                    int(count)
+                )
+                published += 1
+    return published
 
 
 def to_artifact(campaign: CampaignResult) -> Artifact:

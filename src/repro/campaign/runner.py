@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.campaign.cache import ResultCache
 from repro.campaign.spec import CampaignSpec, CampaignTask, execute_task
 from repro.errors import CampaignError
+from repro.obs.registry import REGISTRY
 
 __all__ = ["TaskFailure", "CampaignResult", "run_campaign"]
 
@@ -56,6 +57,9 @@ class CampaignResult:
     executed: int = 0
     jobs: int = 1
     elapsed: float = 0.0
+    #: Worker metric snapshots folded into the parent registry (parallel
+    #: runs only — in-process execution already counts into the parent).
+    worker_metrics_merged: int = 0
 
     @property
     def total_tasks(self) -> int:
@@ -245,12 +249,26 @@ def run_campaign(
         if cache is not None:
             cached = cache.get(cache.task_key(task))
             if cached is not None:
+                if isinstance(cached, dict):
+                    cached.pop("_obs", None)  # pre-strip era cache entries
                 result.results[task.key()] = cached
                 result.cache_hits += 1
                 continue
         to_run.append(task)
 
+    ctx = _fork_context()
+    parallel = bool(to_run) and jobs > 1 and len(to_run) > 1 and ctx is not None
+
     def record_ok(task: CampaignTask, payload: Dict[str, object]) -> None:
+        # The _obs section is transport, not result: strip it before the
+        # payload is stored or cached.  Merge it into the parent registry
+        # only when the task ran in a separate process — an in-process
+        # task already counted into this process's globals, so merging
+        # would double-count.
+        obs = payload.pop("_obs", None) if isinstance(payload, dict) else None
+        if obs is not None and parallel:
+            REGISTRY.merge(obs)
+            result.worker_metrics_merged += 1
         result.results[task.key()] = payload
         result.executed += 1
         if cache is not None:
@@ -259,9 +277,8 @@ def run_campaign(
     def record_fail(task: CampaignTask, error: str, attempts: int) -> None:
         failures.append(TaskFailure(task=task, error=error, attempts=attempts))
 
-    ctx = _fork_context()
     if to_run:
-        if jobs == 1 or len(to_run) == 1 or ctx is None:
+        if not parallel:
             _run_serial(to_run, executor, retries, record_ok, record_fail)
         else:
             _run_parallel(

@@ -361,8 +361,21 @@ def execute_task(task: CampaignTask) -> Dict[str, object]:
 
     This is the unit of work shipped to campaign worker processes; the
     dict form crosses the process boundary and lands in the cache.
+
+    Alongside the experiment result, the payload carries an ``_obs``
+    section: the *delta* of the process-global metrics registry (labeled
+    metrics plus the perf counter block) over this task.  Fork-workers
+    inherit the parent's counts, so only the delta is safe to merge back
+    without double counting.  The runner strips ``_obs`` before the
+    result is stored or cached, and merges it into the parent registry
+    when the task ran in a separate process.
     """
     kind = EXPERIMENTS.get(task.experiment)
     if kind is None:
         raise CampaignError(f"unknown experiment {task.experiment!r}")
-    return kind.execute(task).to_dict()
+    from repro.obs import REGISTRY
+
+    before = REGISTRY.snapshot()
+    payload = kind.execute(task).to_dict()
+    payload["_obs"] = REGISTRY.delta(before)
+    return payload

@@ -14,6 +14,14 @@ Commands
     Sweep an experiment over schemes × variants × seeds on a worker
     pool (``--jobs``), with on-disk result caching (``--cache-dir`` /
     ``--no-cache``), and print multi-trial aggregate statistics.
+``trace``
+    Run one fixed-seed poisoning experiment with tracing enabled and
+    export the event log as a Chrome trace (Perfetto-loadable) or JSONL,
+    including the frame-provenance table that links every scheme alert
+    back to the injecting attack.
+``metrics``
+    Run one fixed-seed experiment and dump the metrics registry in
+    Prometheus text (or JSON snapshot) form.
 """
 
 from __future__ import annotations
@@ -116,6 +124,51 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--no-cache", action="store_true",
                       help="always recompute; do not read or write the cache")
     camp.add_argument("--csv", action="store_true", help="emit CSV")
+    camp.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a Prometheus text dump of the aggregated metrics "
+             "(per-cell detection-latency histograms, alert totals, and "
+             "worker perf counters) to PATH",
+    )
+
+    def _obs_experiment_args(p) -> None:
+        p.add_argument(
+            "--scheme", default="dai", choices=sorted(SCHEME_FACTORIES),
+            help="defense to install (default: dai)",
+        )
+        p.add_argument(
+            "--technique", default="reply",
+            choices=["reply", "request", "gratuitous", "reactive"],
+            help="poisoning technique (default: reply)",
+        )
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--hosts", type=int, default=4)
+        p.add_argument("--duration", type=float, default=12.0,
+                       help="attack duration in simulated seconds")
+        p.add_argument("--out", default=None, metavar="PATH",
+                       help="output file (default: stdout)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one poisoning experiment and export the event log",
+    )
+    _obs_experiment_args(trace)
+    trace.add_argument(
+        "--format", default="chrome", choices=["chrome", "jsonl"],
+        help="chrome = trace-event JSON for Perfetto; jsonl = one event "
+             "per line (default: chrome)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one poisoning experiment and dump the metrics registry",
+    )
+    _obs_experiment_args(metrics)
+    metrics.add_argument(
+        "--format", default="prometheus", choices=["prometheus", "json"],
+        help="Prometheus text exposition or raw JSON snapshot "
+             "(default: prometheus)",
+    )
 
     rec = sub.add_parser(
         "recommend", help="rank schemes for a described deployment"
@@ -253,10 +306,28 @@ def _cmd_campaign(args, out) -> int:
     )
     from repro.perf import PERF
 
-    # In-process counters only: with --jobs > 1 the trials run in forked
-    # workers, whose counters are not aggregated here.
-    scope = "in-process" if campaign.jobs == 1 else "coordinator only"
+    # Worker counters are shipped back as _obs deltas and merged into the
+    # parent registry (and PERF, via its merge hook) — so with --jobs > 1
+    # this line now reflects the whole campaign, not just the coordinator.
+    if campaign.worker_metrics_merged:
+        scope = f"merged from {campaign.worker_metrics_merged} worker tasks"
+    elif campaign.jobs == 1:
+        scope = "in-process"
+    else:
+        scope = "coordinator only"
     out.write(f"# perf ({scope}): {PERF.summary()}\n")
+    if args.metrics_out:
+        from pathlib import Path
+
+        from repro.campaign.aggregate import publish_metrics
+        from repro.obs import REGISTRY, to_prometheus
+
+        published = publish_metrics(campaign)
+        Path(args.metrics_out).write_text(to_prometheus(REGISTRY.snapshot()))
+        out.write(
+            f"# metrics: {published} cell observations written to "
+            f"{args.metrics_out}\n"
+        )
     for failure in campaign.failures:
         out.write(
             f"# FAILED {failure.task.scheme_label} "
@@ -264,6 +335,89 @@ def _cmd_campaign(args, out) -> int:
             f"after {failure.attempts} attempt(s): {failure.error}\n"
         )
     return 1 if campaign.failures else 0
+
+
+def _obs_scenario(args) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=args.seed,
+        n_hosts=args.hosts,
+        attack_duration=args.duration,
+        warmup=3.0,
+        cooldown=2.0,
+    )
+
+
+def _write_artifact(args, out, text: str, summary_lines: list[str]) -> None:
+    """Artifact to --out (or stdout); summary comments never pollute the
+    artifact when it goes to a file."""
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        out.write(f"# written to {args.out}\n")
+        for line in summary_lines:
+            out.write(line + "\n")
+    else:
+        out.write(text if text.endswith("\n") else text + "\n")
+
+
+def _cmd_trace(args, out) -> int:
+    import json
+
+    from repro.obs import TRACER, to_chrome_trace, to_jsonl
+
+    TRACER.reset()
+    TRACER.enable()
+    try:
+        result = run_effectiveness(
+            args.scheme, args.technique, config=_obs_scenario(args)
+        )
+    finally:
+        TRACER.disable()
+
+    events = list(TRACER.events)
+    provenance = TRACER.provenance
+    alerts = [e for e in events if e.name == "scheme.alert"]
+    resolved = 0
+    for alert in alerts:
+        fid = alert.attrs.get("frame")
+        origin = provenance.origin_of(fid) if fid is not None else None
+        if origin is not None and origin.startswith("attack:"):
+            resolved += 1
+
+    if args.format == "chrome":
+        text = json.dumps(to_chrome_trace(events, provenance.frames))
+    else:
+        text = to_jsonl(events)
+    summary = [
+        f"# trace: {len(events)} events ({TRACER.dropped} dropped), "
+        f"{len(provenance)} frames tracked",
+        f"# alerts: {len(alerts)} raised, {resolved} with provenance "
+        f"resolving to an attack injection",
+        f"# outcome: scheme={args.scheme} technique={args.technique} "
+        f"{result.outcome}",
+    ]
+    _write_artifact(args, out, text, summary)
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    import json
+
+    from repro.obs import REGISTRY, to_prometheus
+
+    run_effectiveness(args.scheme, args.technique, config=_obs_scenario(args))
+    snapshot = REGISTRY.snapshot()
+    if args.format == "prometheus":
+        text = to_prometheus(snapshot)
+    else:
+        text = json.dumps(snapshot, indent=2, sort_keys=True)
+    _write_artifact(
+        args, out, text,
+        [f"# metrics: {len(snapshot['metrics'])} families, "
+         f"{len(snapshot['collectors'])} collector blocks"],
+    )
+    return 0
 
 
 def _cmd_bench(args, out) -> int:
@@ -426,6 +580,10 @@ def main(argv: Optional[list[str]] = None, out=None) -> int:
         return _cmd_demo(args, out)
     if args.command == "campaign":
         return _cmd_campaign(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     if args.command == "analyze":

@@ -90,9 +90,12 @@ class SerializableResult:
                     f"{cls.__name__}.from_dict: missing field {f.name!r}"
                 )
             kwargs[f.name] = _tuplify(payload.pop(f.name))
-        if payload:
+        # Underscore-prefixed keys are side-channel payload (e.g. the
+        # campaign transport's _obs metrics), never result fields.
+        unknown = [k for k in payload if not k.startswith("_")]
+        if unknown:
             raise ExperimentError(
-                f"{cls.__name__}.from_dict: unknown fields {sorted(payload)}"
+                f"{cls.__name__}.from_dict: unknown fields {sorted(unknown)}"
             )
         return cls(**kwargs)
 

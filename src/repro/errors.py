@@ -82,3 +82,7 @@ class ExperimentError(ReproError):
 
 class CampaignError(ExperimentError):
     """A campaign spec is invalid or the campaign runner misbehaved."""
+
+
+class ObsError(ReproError):
+    """An observability primitive (metric, span, exporter) was misused."""

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Set
 from repro.errors import CodecError, TopologyError
 from repro.l2.cam import CamTable, DEFAULT_AGING, DEFAULT_CAPACITY
 from repro.l2.device import Device, Port
+from repro.obs.trace import TRACER
 from repro.packets.ethernet import EtherType, EthernetFrame
 from repro.perf import PERF
 from repro.sim.simulator import Simulator
@@ -136,6 +137,25 @@ class Switch(Device):
     # Data plane
     # ------------------------------------------------------------------
     def on_frame(self, port: Port, data: bytes) -> None:
+        if TRACER.enabled:
+            # Resolve the buffer to its frame id (free: buffers flow
+            # through transmit/carry/deliver unchanged) and keep it in
+            # scope so filters and alerts can attribute their decisions.
+            tracer = TRACER
+            fid = tracer.provenance.lookup(data)
+            previous = tracer.current_frame
+            tracer.current_frame = fid
+            try:
+                with tracer.span(
+                    "switch.forward", node=self.name, port=port.name, frame=fid
+                ):
+                    self._data_plane(port, data)
+            finally:
+                tracer.current_frame = previous
+        else:
+            self._data_plane(port, data)
+
+    def _data_plane(self, port: Port, data: bytes) -> None:
         self.recorder.record(self.sim.now, port.name, Direction.RX, data)
         try:
             # Lazy view: forwarding decisions need only the 14-byte header;
@@ -150,11 +170,10 @@ class Switch(Device):
             return
 
         if self.ingress_filters:
-            for filt in list(self.ingress_filters):
-                if not filt(port, frame):
-                    self.dropped_frames += 1
-                    self._mirror(port, data)  # monitors still see dropped frames
-                    return
+            if not self._run_ingress_filters(port, frame):
+                self.dropped_frames += 1
+                self._mirror(port, data)  # monitors still see dropped frames
+                return
 
         self.cam.learn(frame.src, port.index, self.sim.now)
         self._mirror(port, data)
@@ -172,6 +191,38 @@ class Switch(Device):
             return  # hairpin; already on the right segment
         self.forwarded_frames += 1
         self._send(out_index, data)
+
+    def _run_ingress_filters(self, port: Port, frame: EthernetFrame) -> bool:
+        """Run every ingress filter; False means drop.
+
+        With tracing on, each filter's decision becomes a
+        ``scheme.inspect`` span labeled by the installing scheme (filters
+        carry an ``_obs_scheme`` attribute) and drops emit an instant.
+        """
+        tracer = TRACER
+        if not tracer.enabled:
+            for filt in list(self.ingress_filters):
+                if not filt(port, frame):
+                    return False
+            return True
+        fid = tracer.current_frame
+        for filt in list(self.ingress_filters):
+            scheme = getattr(filt, "_obs_scheme", None) or "ingress-filter"
+            with tracer.span(
+                "scheme.inspect", scheme=scheme, node=self.name, frame=fid
+            ) as span:
+                allowed = filt(port, frame)
+                span.set(verdict="allow" if allowed else "drop")
+            if not allowed:
+                tracer.instant(
+                    "switch.drop",
+                    node=self.name,
+                    port=port.name,
+                    scheme=scheme,
+                    frame=fid,
+                )
+                return False
+        return True
 
     def _vlan_on_frame(self, port: Port, frame: EthernetFrame, data: bytes) -> None:
         """The VLAN-aware data plane: classify, learn and forward per VID."""
@@ -201,11 +252,10 @@ class Switch(Device):
                 return
 
         if self.ingress_filters:
-            for filt in list(self.ingress_filters):
-                if not filt(port, inner):
-                    self.dropped_frames += 1
-                    self._mirror(port, data)
-                    return
+            if not self._run_ingress_filters(port, inner):
+                self.dropped_frames += 1
+                self._mirror(port, data)
+                return
 
         cam = self._cam_for(vid)
         cam.learn(inner.src, port.index, self.sim.now)
@@ -243,12 +293,14 @@ class Switch(Device):
             if role == "trunk" and vid != 1:  # native VLAN leaves untagged
                 if tagged is None:
                     tagged = tag_frame(inner, vid).encode()
+                    self._derive_buffer(tagged)
                 else:
                     PERF.flood_buffer_reuses += 1
                 port.transmit(tagged)
             else:
                 if untagged is None:
                     untagged = inner.encode()
+                    self._derive_buffer(untagged)
                 else:
                     PERF.flood_buffer_reuses += 1
                 port.transmit(untagged)
@@ -256,9 +308,21 @@ class Switch(Device):
     def _vlan_egress(self, port_index: int, inner: EthernetFrame, vid: int, tag_frame) -> None:
         role, _ = self._port_role(port_index)
         if role == "trunk" and vid != 1:  # native VLAN leaves untagged
-            self.ports[port_index].transmit(tag_frame(inner, vid).encode())
+            out = tag_frame(inner, vid).encode()
         else:
-            self.ports[port_index].transmit(inner.encode())
+            out = inner.encode()
+        self._derive_buffer(out)
+        self.ports[port_index].transmit(out)
+
+    def _derive_buffer(self, data: bytes) -> None:
+        """Provenance: a re-encoded (re-tagged) egress buffer keeps its
+        causal link to the frame currently being forwarded."""
+        if TRACER.enabled and TRACER.current_frame is not None:
+            if TRACER.provenance.lookup(data) == TRACER.current_frame:
+                return  # memoized encode handed back the ingress buffer
+            TRACER.provenance.derive(
+                data, TRACER.current_frame, f"switch:{self.name}", self.sim.now
+            )
 
     def _flood(self, ingress: Port, data: bytes) -> None:
         self.flooded_frames += 1

@@ -1,0 +1,69 @@
+"""repro.obs — unified tracing, metrics, and frame provenance.
+
+One import surface for the three observability primitives:
+
+* :data:`REGISTRY` — the process-wide metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram` with labels,
+  snapshot/merge for campaign fork-workers).  The legacy
+  :data:`repro.perf.PERF` block is registered as the ``perf`` collector,
+  with :meth:`~repro.perf.PerfCounters.absorb` as its merge hook — so a
+  worker's wire-fast-path statistics survive the worker.
+* :data:`TRACER` — the bounded structured event log (simulation-time
+  spans and instants), off by default and zero-cost while off.
+* ``TRACER.provenance`` — the frame-id table mapping live wire buffers
+  back to the workload or attack that injected them.
+
+Exporters (:func:`to_chrome_trace`, :func:`to_jsonl`,
+:func:`to_prometheus` and their parsers) turn those into artifacts the
+``repro trace`` / ``repro metrics`` subcommands write out.
+
+See ``docs/observability.md`` for the span taxonomy and overhead policy.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    parse_jsonl,
+    parse_prometheus,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.provenance import FrameRecord, Provenance
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.trace import DEFAULT_CAPACITY, TRACER, ObsEvent, Tracer
+from repro.perf import PERF
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Tracer",
+    "ObsEvent",
+    "Provenance",
+    "FrameRecord",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "to_chrome_trace",
+    "to_jsonl",
+    "parse_jsonl",
+    "to_prometheus",
+    "parse_prometheus",
+]
+
+# Absorb the legacy perf block: snapshots of the registry include the
+# wire-fast-path counters, and merging a worker snapshot folds its perf
+# deltas into this process's PERF.  register_collector is idempotent.
+REGISTRY.register_collector("perf", PERF.snapshot, PERF.absorb)

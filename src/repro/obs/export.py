@@ -1,0 +1,256 @@
+"""Exporters: Chrome trace-event JSON, JSONL stream, Prometheus text.
+
+All three are deterministic functions of their inputs — a fixed-seed run
+exports byte-identical artifacts, which the round-trip tests rely on.
+
+* :func:`to_chrome_trace` emits the Trace Event Format understood by
+  Perfetto / ``chrome://tracing``: complete events (``ph: "X"``) for
+  spans, instants (``ph: "i"``), and metadata events naming each track.
+  Simulated seconds become microseconds (the format's unit); tracks
+  (``tid``) are derived from the event's ``node``/``switch`` attribute so
+  per-device timelines line up visually.
+* :func:`to_jsonl` / :func:`parse_jsonl` — one JSON object per line,
+  lossless for :class:`~repro.obs.trace.ObsEvent`.
+* :func:`to_prometheus` / :func:`parse_prometheus` — the text exposition
+  format (``# HELP`` / ``# TYPE``, cumulative ``le`` histogram buckets,
+  ``_sum`` / ``_count``) rendered from a registry snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObsError
+from repro.obs.trace import ObsEvent
+
+__all__ = [
+    "to_chrome_trace",
+    "to_jsonl",
+    "parse_jsonl",
+    "to_prometheus",
+    "parse_prometheus",
+]
+
+_PID = 1  # single simulated process; tracks are devices
+
+
+def _track_of(attrs: Mapping[str, object]) -> str:
+    for key in ("node", "switch", "host", "device"):
+        value = attrs.get(key)
+        if value is not None:
+            return str(value)
+    return "sim"
+
+
+def to_chrome_trace(
+    events: List[ObsEvent],
+    provenance_frames: Optional[Mapping[int, object]] = None,
+) -> Dict[str, object]:
+    """Render events as a Chrome trace-event JSON object.
+
+    ``provenance_frames`` (frame-id → :class:`FrameRecord`) — when given —
+    is embedded under the top-level ``frameProvenance`` key (the format
+    explicitly allows extra top-level members) so a trace file is a
+    self-contained audit trail.
+    """
+    tracks: Dict[str, int] = {}
+    trace_events: List[Dict[str, object]] = []
+    for event in events:
+        track = _track_of(event.attrs)
+        tid = tracks.get(track)
+        if tid is None:
+            tid = len(tracks) + 1
+            tracks[track] = tid
+        args = {k: v for k, v in event.attrs.items()}
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.name.split(".", 1)[0],
+            "ts": event.ts * 1e6,
+            "pid": _PID,
+            "tid": tid,
+            "args": args,
+        }
+        if event.kind == "span":
+            record["ph"] = "X"
+            record["dur"] = (event.dur or 0.0) * 1e6
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for track, tid in sorted(tracks.items(), key=lambda kv: kv[1])
+    ]
+    doc: Dict[str, object] = {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if provenance_frames:
+        doc["frameProvenance"] = {
+            str(fid): {
+                "parent": rec.parent,
+                "origin": rec.origin,
+                "kind": rec.kind,
+                "time": rec.time,
+            }
+            for fid, rec in sorted(provenance_frames.items())
+        }
+    return doc
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(events: List[ObsEvent]) -> str:
+    """One compact JSON object per event; lossless round trip."""
+    lines = []
+    for event in events:
+        lines.append(
+            json.dumps(
+                {
+                    "name": event.name,
+                    "ts": event.ts,
+                    "dur": event.dur,
+                    "kind": event.kind,
+                    "attrs": event.attrs,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_jsonl(text: str) -> List[ObsEvent]:
+    events: List[ObsEvent] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"JSONL line {lineno} is not valid JSON: {exc}") from exc
+        try:
+            events.append(
+                ObsEvent(
+                    obj["name"], obj["ts"], obj["dur"], obj["kind"], obj["attrs"]
+                )
+            )
+        except KeyError as exc:
+            raise ObsError(f"JSONL line {lineno} missing field {exc}") from exc
+    return events
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    f = float(value)
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+def _fmt_labels(labels: Mapping[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_prometheus(snapshot: Mapping[str, object]) -> str:
+    """Render a registry snapshot in the text exposition format.
+
+    Collector sections (e.g. the ``perf`` block) are emitted as plain
+    counters named ``repro_<collector>_<key>``.
+    """
+    out: List[str] = []
+    for name, payload in snapshot.get("metrics", {}).items():
+        kind = payload["type"]
+        if payload.get("help"):
+            out.append(f"# HELP {name} {payload['help']}")
+        out.append(f"# TYPE {name} {kind}")
+        for sample in payload["samples"]:
+            labels = sample["labels"]
+            if kind == "histogram":
+                cumulative = 0
+                buckets = sample["buckets"]
+                for i, bound in enumerate(list(buckets) + [math.inf]):
+                    cumulative += sample["counts"][i]
+                    le = _fmt_labels(labels, (("le", _fmt_value(bound)),))
+                    out.append(f"{name}_bucket{le} {cumulative}")
+                out.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(sample['sum'])}")
+                out.append(f"{name}_count{_fmt_labels(labels)} {sample['count']}")
+            else:
+                out.append(f"{name}{_fmt_labels(labels)} {_fmt_value(sample['value'])}")
+    for collector, values in snapshot.get("collectors", {}).items():
+        for key, value in sorted(values.items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            metric = f"repro_{collector}_{key}".replace("-", "_").replace(".", "_")
+            out.append(f"# TYPE {metric} counter")
+            out.append(f"{metric} {_fmt_value(value)}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse the text format back to ``{name: {label-pairs: value}}``.
+
+    Used by the round-trip tests and the campaign report reader; supports
+    the subset :func:`to_prometheus` emits.
+    """
+    out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            left, value_str = line.rsplit(" ", 1)
+        except ValueError as exc:
+            raise ObsError(f"prometheus line {lineno}: {line!r}") from exc
+        if "{" in left:
+            name, rest = left.split("{", 1)
+            if not rest.endswith("}"):
+                raise ObsError(f"prometheus line {lineno}: unterminated labels")
+            labels: List[Tuple[str, str]] = []
+            body = rest[:-1]
+            if body:
+                for pair in _split_label_pairs(body):
+                    key, raw = pair.split("=", 1)
+                    labels.append((key, json.loads(raw)))
+            label_key = tuple(sorted(labels))
+        else:
+            name, label_key = left, ()
+        value = math.inf if value_str == "+Inf" else float(value_str)
+        out.setdefault(name, {})[label_key] = value
+    return out
+
+
+def _split_label_pairs(body: str) -> List[str]:
+    pairs: List[str] = []
+    depth_quote = False
+    start = 0
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == '"' and (i == 0 or body[i - 1] != "\\"):
+            depth_quote = not depth_quote
+        elif ch == "," and not depth_quote:
+            pairs.append(body[start:i])
+            start = i + 1
+        i += 1
+    pairs.append(body[start:])
+    return pairs

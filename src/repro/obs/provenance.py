@@ -1,0 +1,144 @@
+"""Frame provenance — the causal chain behind every delivery and alert.
+
+Frames travel the simulated LAN as raw ``bytes`` buffers, and the wire
+fast path deliberately reuses one buffer across hops (a flood transmits
+the ingress buffer on every egress port).  Provenance exploits exactly
+that: the *identity* of the buffer object is a free correlation key.  At
+injection time (:meth:`Provenance.new_frame`) a monotonically increasing
+frame id is assigned and the buffer is pinned in a bounded side table;
+every later observer (switch ingress, host RX, a scheme's guard) looks
+the buffer up and recovers the id without any change to the wire format.
+
+Buffers that are *re-encoded* along the way (VLAN tagging on a trunk,
+a router rewriting TTL) register a *derived* frame whose ``parent`` links
+back, so :meth:`chain` walks from any observation to the original
+injection — "which attack put this frame on the wire?".
+
+The table is bounded (:data:`PIN_LIMIT` buffers): tracing a soak test
+cannot grow memory without bound; evicted buffers simply stop resolving,
+and :attr:`Provenance.evicted` says how many did.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = ["FrameRecord", "Provenance", "PIN_LIMIT"]
+
+#: Maximum buffers pinned for id lookup at any moment.
+PIN_LIMIT = 1 << 16
+
+#: Maximum frame records retained (ids stay monotonic across eviction).
+RECORD_LIMIT = 1 << 18
+
+
+class FrameRecord(NamedTuple):
+    """The birth certificate of one frame."""
+
+    frame_id: int
+    parent: Optional[int]
+    origin: str  # "attack:arp-poison/reply", "host:user-0", ...
+    kind: str    # "tx" | "derived"
+    time: float
+
+
+class Provenance:
+    """Assigns frame ids and resolves buffers back to them."""
+
+    def __init__(
+        self, pin_limit: int = PIN_LIMIT, record_limit: int = RECORD_LIMIT
+    ) -> None:
+        self._ids = itertools.count(1)
+        self._pin_limit = pin_limit
+        self._record_limit = record_limit
+        #: id(buffer) -> (frame_id, buffer).  The buffer reference pins the
+        #: object so its ``id()`` cannot be recycled while mapped.
+        self._by_buf: Dict[int, Tuple[int, bytes]] = {}
+        self._pin_order: Deque[int] = deque()
+        self.frames: Dict[int, FrameRecord] = {}
+        self._record_order: Deque[int] = deque()
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def new_frame(
+        self,
+        buf: bytes,
+        origin: str,
+        time: float,
+        parent: Optional[int] = None,
+        kind: str = "tx",
+    ) -> int:
+        """Register an injected (or derived) frame buffer; returns its id."""
+        frame_id = next(self._ids)
+        self._record(FrameRecord(frame_id, parent, origin, kind, time))
+        self.tag(buf, frame_id)
+        return frame_id
+
+    def derive(self, buf: bytes, parent: Optional[int], origin: str, time: float) -> int:
+        """A re-encoded form of ``parent`` (VLAN tag, rewrite...)."""
+        return self.new_frame(buf, origin, time, parent=parent, kind="derived")
+
+    def tag(self, buf: bytes, frame_id: int) -> None:
+        """Map (an additional) buffer to an existing frame id."""
+        key = id(buf)
+        if key not in self._by_buf and len(self._by_buf) >= self._pin_limit:
+            oldest = self._pin_order.popleft()
+            self._by_buf.pop(oldest, None)
+            self.evicted += 1
+        if key not in self._by_buf:
+            self._pin_order.append(key)
+        self._by_buf[key] = (frame_id, buf)
+
+    def lookup(self, buf: bytes) -> Optional[int]:
+        """The frame id of ``buf``, or ``None`` when untracked/evicted."""
+        entry = self._by_buf.get(id(buf))
+        return entry[0] if entry is not None else None
+
+    def record_for(self, frame_id: int) -> Optional[FrameRecord]:
+        return self.frames.get(frame_id)
+
+    def chain(self, frame_id: int) -> List[FrameRecord]:
+        """The causal chain, newest first, ending at the injection."""
+        out: List[FrameRecord] = []
+        seen = set()
+        current: Optional[int] = frame_id
+        while current is not None and current not in seen:
+            seen.add(current)
+            record = self.frames.get(current)
+            if record is None:
+                break
+            out.append(record)
+            current = record.parent
+        return out
+
+    def origin_of(self, frame_id: int) -> Optional[str]:
+        """The origin label at the root of the chain."""
+        chain = self.chain(frame_id)
+        return chain[-1].origin if chain else None
+
+    # ------------------------------------------------------------------
+    def _record(self, record: FrameRecord) -> None:
+        if len(self.frames) >= self._record_limit:
+            oldest = self._record_order.popleft()
+            self.frames.pop(oldest, None)
+        self.frames[record.frame_id] = record
+        self._record_order.append(record.frame_id)
+
+    def reset(self) -> None:
+        self._ids = itertools.count(1)
+        self._by_buf.clear()
+        self._pin_order.clear()
+        self.frames.clear()
+        self._record_order.clear()
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Provenance(frames={len(self.frames)}, pinned={len(self._by_buf)}, "
+            f"evicted={self.evicted})"
+        )

@@ -27,13 +27,19 @@ __all__ = ["PerfCounters", "PERF"]
 class PerfCounters:
     """Process-wide counters for the wire fast path."""
 
-    __slots__ = (
+    #: Additive counters — plain ints a foreign snapshot can be folded
+    #: into (see :meth:`absorb`); intern stats are derived, not additive.
+    ADDITIVE = (
         "packet_encodes",
         "encodes_avoided",
         "lazy_frames",
         "payload_decodes",
         "eager_decodes",
         "flood_buffer_reuses",
+        "trace_drops",
+    )
+
+    __slots__ = ADDITIVE + (
         "_intern_hits_base",
         "_intern_misses_base",
     )
@@ -45,6 +51,7 @@ class PerfCounters:
         self.payload_decodes = 0
         self.eager_decodes = 0
         self.flood_buffer_reuses = 0
+        self.trace_drops = 0
         self._intern_hits_base = 0
         self._intern_misses_base = 0
 
@@ -52,12 +59,8 @@ class PerfCounters:
     def reset(self) -> None:
         """Zero every counter and re-baseline the intern statistics."""
         hits, misses = self._intern_totals()
-        self.packet_encodes = 0
-        self.encodes_avoided = 0
-        self.lazy_frames = 0
-        self.payload_decodes = 0
-        self.eager_decodes = 0
-        self.flood_buffer_reuses = 0
+        for name in self.ADDITIVE:
+            setattr(self, name, 0)
         self._intern_hits_base = hits
         self._intern_misses_base = misses
 
@@ -103,20 +106,45 @@ class PerfCounters:
             "lazy_decodes_skipped": self.lazy_decodes_skipped,
             "eager_decodes": self.eager_decodes,
             "flood_buffer_reuses": self.flood_buffer_reuses,
+            "trace_drops": self.trace_drops,
             "intern_hits": self.intern_hits,
             "intern_misses": self.intern_misses,
             "intern_hit_rate": round(self.intern_hit_rate, 4),
         }
 
+    def delta_since(self, before: Dict[str, object]) -> Dict[str, int]:
+        """Additive-counter deltas vs an earlier :meth:`snapshot`.
+
+        Campaign fork-workers inherit the parent's counter values, so
+        shipping absolute snapshots home would double-count everything
+        accumulated before the fork; workers ship deltas instead.
+        """
+        return {
+            name: getattr(self, name) - int(before.get(name, 0))
+            for name in self.ADDITIVE
+        }
+
+    def absorb(self, delta: Dict[str, object]) -> None:
+        """Fold a foreign additive snapshot/delta into this block.
+
+        Registered with the metrics registry as the ``perf`` collector's
+        merge hook; unknown and derived keys are ignored.
+        """
+        for name in self.ADDITIVE:
+            value = delta.get(name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                setattr(self, name, getattr(self, name) + int(value))
+
     def summary(self) -> str:
         """One-line human summary (used by campaign reports)."""
+        drops = f", trace-drops={self.trace_drops}" if self.trace_drops else ""
         return (
             f"encodes={self.packet_encodes} "
             f"avoided={self.encodes_avoided} ({self.encode_memo_rate:.0%} memoized), "
             f"lazy-views={self.lazy_frames} "
             f"payload-decodes-skipped={self.lazy_decodes_skipped}, "
             f"flood-buffer-reuses={self.flood_buffer_reuses}, "
-            f"intern-hit-rate={self.intern_hit_rate:.0%}"
+            f"intern-hit-rate={self.intern_hit_rate:.0%}" + drops
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -57,7 +57,7 @@ class Anticap(Scheme):
 
     def _install(self, lan: Lan, protected: List[Host]) -> None:
         for host in protected:
-            remove = host.add_arp_guard(self._guard)
+            remove = host.add_arp_guard(self._mark_hook(self._guard))
             self._on_teardown(remove)
 
     def _guard(

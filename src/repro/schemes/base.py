@@ -18,6 +18,8 @@ from typing import Dict, List, Optional
 from repro.errors import SchemeError
 from repro.l2.topology import Lan
 from repro.net.addresses import Ipv4Address, MacAddress
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import TRACER
 from repro.stack.host import Host
 
 __all__ = [
@@ -57,7 +59,12 @@ class Coverage:
 
 @dataclass(frozen=True)
 class Alert:
-    """One detection event raised by a scheme."""
+    """One detection event raised by a scheme.
+
+    ``frame_id`` — when tracing is on — is the provenance id of the frame
+    being processed when the alert fired; chasing its parent chain in
+    ``TRACER.provenance`` leads back to the injecting workload or attack.
+    """
 
     time: float
     scheme: str
@@ -66,6 +73,7 @@ class Alert:
     ip: Optional[Ipv4Address] = None
     mac: Optional[MacAddress] = None
     message: str = ""
+    frame_id: Optional[int] = None
 
     def __str__(self) -> str:
         subject = f" {self.ip}" if self.ip is not None else ""
@@ -156,6 +164,21 @@ class Scheme(ABC):
     def _on_teardown(self, callback) -> None:
         self._teardowns.append(callback)
 
+    def _mark_hook(self, fn):
+        """Label a guard/filter/tap callable with this scheme's key.
+
+        The tracer reads the ``_obs_scheme`` attribute to name
+        ``scheme.inspect`` spans.  Bound methods don't take attributes, so
+        the label lands on the underlying function; plain callables are
+        labeled directly.  Returns ``fn`` for installation chaining.
+        """
+        target = getattr(fn, "__func__", fn)
+        try:
+            target._obs_scheme = self.profile.key
+        except AttributeError:  # exotic callables (partial, C func): skip
+            pass
+        return fn
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -184,6 +207,7 @@ class Scheme(ABC):
                 self.suppressed_alerts += 1
                 return None
             self._dedup_seen[key] = time
+        frame_id = TRACER.current_frame if TRACER.enabled else None
         alert = Alert(
             time=time,
             scheme=self.profile.key,
@@ -192,8 +216,24 @@ class Scheme(ABC):
             ip=ip,
             mac=mac,
             message=message,
+            frame_id=frame_id,
         )
         self.alerts.append(alert)
+        REGISTRY.counter(
+            "scheme_alerts_total",
+            "Alerts raised, by scheme and severity",
+            labels=("scheme", "severity"),
+        ).labels(scheme=self.profile.key, severity=severity).inc()
+        if TRACER.enabled:
+            TRACER.instant(
+                "scheme.alert",
+                scheme=self.profile.key,
+                severity=severity,
+                kind=kind,
+                ip=str(ip) if ip is not None else None,
+                mac=str(mac) if mac is not None else None,
+                frame=frame_id,
+            )
         return alert
 
     def alerts_between(self, start: float, end: float) -> List[Alert]:

@@ -73,7 +73,7 @@ class DarpiHostInspection(Scheme):
 
     def _install(self, lan: Lan, protected: List[Host]) -> None:
         for host in protected:
-            remove = host.add_arp_guard(self._make_guard())
+            remove = host.add_arp_guard(self._mark_hook(self._make_guard()))
             self._on_teardown(remove)
 
     def _make_guard(self):

@@ -133,7 +133,7 @@ class SecureArp(Scheme):
             else 0.0
         )
 
-        remove_guard = host.add_arp_guard(self._make_guard(state))
+        remove_guard = host.add_arp_guard(self._mark_hook(self._make_guard(state)))
 
         def restore() -> None:
             host.profile = saved_profile

@@ -126,7 +126,7 @@ class TicketArp(Scheme):
             else 0.0
         )
 
-        remove_guard = host.add_arp_guard(self._guard)
+        remove_guard = host.add_arp_guard(self._mark_hook(self._guard))
 
         def restore() -> None:
             host.profile = saved_profile

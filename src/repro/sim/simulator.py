@@ -36,6 +36,7 @@ import random
 from typing import Callable, Iterator, Optional
 
 from repro.errors import ClockError, SimulationError
+from repro.obs.trace import TRACER
 
 __all__ = ["Event", "Simulator"]
 
@@ -108,6 +109,11 @@ class Simulator:
         self._cancelled_in_heap = 0
         self.events_processed = 0
         self.heap_compactions = 0
+        if TRACER.enabled:
+            # The most recently built simulator owns the trace clock, so
+            # span timestamps are simulated seconds (deterministic per
+            # seed), not wall time.
+            TRACER.use_clock(lambda: self._now)
 
     # ------------------------------------------------------------------
     # Clock
@@ -271,6 +277,7 @@ class Simulator:
             heap = self._heap  # safe: _compact() rebuilds it in place
             pop = heapq.heappop
             limit = self.events_processed + max_events
+            tracer = TRACER
             while heap:
                 when, _seq, event = heap[0]
                 if event.cancelled:
@@ -284,7 +291,11 @@ class Simulator:
                 event._sim = None
                 self._now = when
                 self.events_processed += 1
-                event.action()
+                if tracer.enabled and event.name:
+                    with tracer.span("sim.event", event=event.name):
+                        event.action()
+                else:
+                    event.action()
                 if self.events_processed > limit:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway schedule?"

@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Iterable, Iterator, NamedTuple, Optional
 
+from repro.perf import PERF
+
 __all__ = ["TraceRecord", "TraceRecorder", "Direction", "DEFAULT_CAPACITY"]
 
 #: Default ring size.  Large enough that every scenario shipped with the
@@ -101,7 +103,11 @@ class TraceRecorder:
         records = self.records
         maxlen = records.maxlen
         if maxlen is not None and len(records) == maxlen:
-            self.dropped += 1  # deque evicts the oldest on append
+            # Deque evicts the oldest on append.  The process-wide tally
+            # surfaces in `# perf:` lines so a wrapped capture is never
+            # mistaken for a complete one.
+            self.dropped += 1
+            PERF.trace_drops += 1
         records.append(rec)
         if self._taps:
             for tap in list(self._taps):

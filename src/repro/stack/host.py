@@ -28,6 +28,7 @@ from repro.net.addresses import (
     Ipv4Network,
     MacAddress,
 )
+from repro.obs.trace import TRACER
 from repro.packets.arp import ArpOp, ArpPacket
 from repro.packets.ethernet import EtherType, EthernetFrame
 from repro.packets.icmp import IcmpMessage, IcmpType
@@ -213,9 +214,37 @@ class Host(Device):
         except CodecError:
             self.counters["decode_errors"] += 1
             return
+        if TRACER.enabled:
+            tracer = TRACER
+            fid = tracer.provenance.lookup(data)
+            previous = tracer.current_frame
+            tracer.current_frame = fid
+            try:
+                with tracer.span("host.rx", node=self.name, frame=fid):
+                    self._frame_dispatch(frame, data)
+            finally:
+                tracer.current_frame = previous
+        else:
+            self._frame_dispatch(frame, data)
+
+    def _frame_dispatch(self, frame: EthernetFrame, data: bytes) -> None:
         if self.frame_taps:
-            for tap in list(self.frame_taps):
-                tap(frame, data)
+            if TRACER.enabled:
+                for tap in list(self.frame_taps):
+                    scheme = getattr(tap, "_obs_scheme", None)
+                    if scheme is None:
+                        tap(frame, data)
+                        continue
+                    with TRACER.span(
+                        "scheme.inspect",
+                        scheme=scheme,
+                        node=self.name,
+                        frame=TRACER.current_frame,
+                    ):
+                        tap(frame, data)
+            else:
+                for tap in list(self.frame_taps):
+                    tap(frame, data)
         addressed = frame.dst == self.mac or frame.dst.is_multicast
         if not addressed:
             # NIC in non-promiscuous mode filters foreign unicast; in
@@ -239,18 +268,44 @@ class Host(Device):
         self.counters["arp_rx"] += 1
         cost = self.arp_rx_cost(arp) if self.arp_rx_cost is not None else 0.0
         if cost > 0:
-            self.sim.schedule(cost, lambda: self._arp_process(arp, frame))
+            # Crypto schemes defer processing past the verification cost;
+            # carry the frame id across the scheduling gap so guards and
+            # alerts still attribute to the triggering frame.
+            fid = TRACER.current_frame if TRACER.enabled else None
+            self.sim.schedule(
+                cost,
+                lambda: self._arp_process(arp, frame, fid),
+                name=f"{self.name}.arp-crypto",
+            )
         else:
             self._arp_process(arp, frame)
 
-    def _arp_process(self, arp: ArpPacket, frame: EthernetFrame) -> None:
-        verdict: Optional[bool] = None
-        for guard in list(self.arp_guards):
-            verdict = guard(self, arp, frame)
-            if verdict is not None:
-                break
+    def _arp_process(
+        self,
+        arp: ArpPacket,
+        frame: EthernetFrame,
+        fid: Optional[int] = None,
+    ) -> None:
+        tracer = TRACER
+        if tracer.enabled:
+            if fid is not None:
+                tracer.current_frame = fid
+            verdict = self._run_arp_guards(arp, frame, tracer)
+        else:
+            verdict = None
+            for guard in list(self.arp_guards):
+                verdict = guard(self, arp, frame)
+                if verdict is not None:
+                    break
         if verdict is False:
             self.counters["arp_guard_drops"] += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "host.drop",
+                    node=self.name,
+                    reason="arp-guard",
+                    frame=tracer.current_frame,
+                )
             return
 
         forced = verdict is True
@@ -261,6 +316,20 @@ class Host(Device):
             self._arp_request_in(arp, forced)
         else:
             self._arp_reply_in(arp, frame, forced)
+
+    def _run_arp_guards(self, arp, frame, tracer) -> Optional[bool]:
+        """Traced guard chain: one ``scheme.inspect`` span per guard."""
+        fid = tracer.current_frame
+        for guard in list(self.arp_guards):
+            scheme = getattr(guard, "_obs_scheme", None) or "arp-guard"
+            with tracer.span(
+                "scheme.inspect", scheme=scheme, node=self.name, frame=fid
+            ) as span:
+                verdict = guard(self, arp, frame)
+                if verdict is not None:
+                    span.set(verdict="accept" if verdict else "drop")
+                    return verdict
+        return None
 
     def _arp_gratuitous(self, arp: ArpPacket, forced: bool) -> None:
         if not (forced or self.profile.accept_gratuitous):
@@ -325,6 +394,17 @@ class Host(Device):
 
     def _cache_put(self, arp: ArpPacket, source: str) -> None:
         self.arp_cache.put(arp.spa, arp.sha, now=self.sim.now, source=source)
+        if TRACER.enabled:
+            # Cache updates are where poisoning lands: the audit trail
+            # records every accepted binding with the frame that caused it.
+            TRACER.instant(
+                "arp.cache_put",
+                node=self.name,
+                ip=str(arp.spa),
+                mac=str(arp.sha),
+                source=source,
+                frame=TRACER.current_frame,
+            )
 
     def accept_arp_binding(self, ip: Ipv4Address, mac: MacAddress, source: str) -> None:
         """Scheme API: install a vetted binding and wake pending resolutions.
@@ -435,7 +515,17 @@ class Host(Device):
             return
         if pending.timer is not None:
             pending.timer.cancel()
-        self.resolution_latencies.append(self.sim.now - pending.started_at)
+        latency = self.sim.now - pending.started_at
+        self.resolution_latencies.append(latency)
+        # Registry metric (resolutions are rare — well off the wire fast
+        # path, so the labeled observe is affordable unconditionally).
+        from repro.obs.registry import REGISTRY
+
+        REGISTRY.histogram(
+            "arp_resolution_seconds",
+            "ARP resolution latency per host",
+            labels=("host",),
+        ).labels(host=self.name).observe(latency)
         for on_resolved, _ in pending.waiters:
             on_resolved(mac)
 
@@ -501,9 +591,25 @@ class Host(Device):
         )
         self.transmit_frame(frame)
 
-    def transmit_frame(self, frame: EthernetFrame) -> None:
-        """Put a fully formed frame on the wire (also used by attackers)."""
+    def transmit_frame(self, frame: EthernetFrame, origin: Optional[str] = None) -> None:
+        """Put a fully formed frame on the wire (also used by attackers).
+
+        ``origin`` labels the injection in the provenance table (attack
+        tools pass e.g. ``"attack:arp-poison/reply"``); by default frames
+        are attributed to this host.
+        """
         data = frame.encode()
+        if TRACER.enabled:
+            # A frame transmitted while processing a received one (an ARP
+            # reply answering a request, a forwarded packet) records that
+            # frame as its causal parent.
+            fid = TRACER.provenance.new_frame(
+                data,
+                origin or f"host:{self.name}",
+                self.sim.now,
+                parent=TRACER.current_frame,
+            )
+            TRACER.instant("host.tx", node=self.name, frame=fid, origin=origin)
         self.recorder.record(self.sim.now, self.name, Direction.TX, data)
         self.nic.transmit(data)
 

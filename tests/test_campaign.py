@@ -257,7 +257,7 @@ class TestCampaignCli:
         assert "Campaign — effectiveness" in text
         assert "dai" in text
         assert "4 executed" in text
-        assert "# perf (coordinator only):" in text
+        assert "# perf (merged from 4 worker tasks):" in text
         assert not (tmp_path / ".repro_cache").exists()
 
     def test_campaign_csv_and_cache(self, tmp_path):

@@ -1,0 +1,211 @@
+"""Round-trip tests for the obs exporters and their CLI surface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObsError
+from repro.obs.export import (
+    parse_jsonl,
+    parse_prometheus,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TRACER, ObsEvent
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+
+
+def _events():
+    return [
+        ObsEvent("sim.event", 1.0, 0.5, "span", {"event": "tick"}),
+        ObsEvent("switch.forward", 1.25, 0.0, "span",
+                 {"node": "sw0", "frame": 3}),
+        ObsEvent("scheme.alert", 2.0, None, "instant",
+                 {"node": "ids", "scheme": "dai", "frame": 3}),
+    ]
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        doc = to_chrome_trace(_events())
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(spans) == 2 and len(instants) == 1
+        # Timestamps and durations are microseconds.
+        assert spans[0]["ts"] == 1.0e6 and spans[0]["dur"] == 0.5e6
+        assert instants[0]["s"] == "t"
+        for e in spans + instants:
+            assert e["pid"] == 1 and isinstance(e["tid"], int)
+            assert e["cat"] == e["name"].split(".", 1)[0]
+        # Every track gets a thread_name metadata record.
+        named = {m["args"]["name"] for m in metadata}
+        assert named == {"sim", "sw0", "ids"}
+
+    def test_tracks_group_by_device(self):
+        doc = to_chrome_trace(_events())
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] != "M"}
+        assert by_name["switch.forward"]["tid"] != by_name["sim.event"]["tid"]
+
+    def test_provenance_embedded(self):
+        TRACER.provenance.new_frame(b"x", "attack:arp-poison/reply", 1.0)
+        doc = to_chrome_trace(_events(), TRACER.provenance.frames)
+        assert doc["frameProvenance"]["1"]["origin"] == "attack:arp-poison/reply"
+        assert doc["frameProvenance"]["1"]["parent"] is None
+
+    def test_output_is_json_serializable(self):
+        json.dumps(to_chrome_trace(_events()))
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self):
+        text = to_jsonl(_events())
+        assert text.endswith("\n")
+        parsed = parse_jsonl(text)
+        assert [tuple(e) for e in parsed] == [tuple(e) for e in _events()]
+
+    def test_empty_input(self):
+        assert to_jsonl([]) == ""
+        assert parse_jsonl("") == []
+
+    def test_bad_line_raises(self):
+        with pytest.raises(ObsError):
+            parse_jsonl("not json\n")
+        with pytest.raises(ObsError):
+            parse_jsonl('{"name": "x"}\n')
+
+
+class TestPrometheus:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("alerts_total", "alerts", labels=("scheme",)).labels(
+            scheme="dai"
+        ).inc(4)
+        reg.gauge("cache_size").set(12)
+        h = reg.histogram("lat_seconds", buckets=(0.5, 1.0))
+        h.observe(0.2)
+        h.observe(0.7)
+        h.observe(2.0)
+        reg.register_collector("perf", lambda: {"packet-encodes": 9})
+        return reg.snapshot()
+
+    def test_text_format(self):
+        text = to_prometheus(self._snapshot())
+        assert '# TYPE alerts_total counter' in text
+        assert 'alerts_total{scheme="dai"} 4' in text
+        assert '# TYPE lat_seconds histogram' in text
+        # Buckets are cumulative and end at +Inf.
+        assert 'lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert 'lat_seconds_count 3' in text
+        # Collector keys are sanitized into metric names.
+        assert 'repro_perf_packet_encodes 9' in text
+
+    def test_reparse_recovers_values(self):
+        parsed = parse_prometheus(to_prometheus(self._snapshot()))
+        assert parsed["alerts_total"][(("scheme", "dai"),)] == 4.0
+        assert parsed["cache_size"][()] == 12.0
+        assert parsed["lat_seconds_bucket"][(("le", "+Inf"),)] == 3.0
+        assert parsed["lat_seconds_count"][()] == 3.0
+        assert parsed["repro_perf_packet_encodes"][()] == 9.0
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels=("k",)).labels(k='has "quotes"').inc()
+        text = to_prometheus(reg.snapshot())
+        parsed = parse_prometheus(text)
+        assert parsed["c_total"][(("k", 'has "quotes"'),)] == 1.0
+
+    def test_inf_bound_formatting(self):
+        text = to_prometheus(self._snapshot())
+        assert 'le="+Inf"' in text
+        assert "inf}" not in text  # no bare float repr of infinity
+        bounds = parse_prometheus(text)["lat_seconds_bucket"]
+        assert (("le", "+Inf"),) in bounds
+
+
+class TestDeterminism:
+    def _trace_run(self):
+        from repro.core.experiment import ScenarioConfig, run_effectiveness
+
+        TRACER.reset()
+        TRACER.enable()
+        config = ScenarioConfig(seed=11, n_hosts=3, attack_duration=6.0,
+                                warmup=2.0, cooldown=1.0)
+        try:
+            run_effectiveness("dai", "reply", config=config)
+        finally:
+            TRACER.disable()
+        chrome = json.dumps(
+            to_chrome_trace(list(TRACER.events), TRACER.provenance.frames),
+            sort_keys=True,
+        )
+        return chrome, to_jsonl(list(TRACER.events))
+
+    def test_fixed_seed_exports_are_byte_identical(self):
+        chrome_a, jsonl_a = self._trace_run()
+        chrome_b, jsonl_b = self._trace_run()
+        assert chrome_a == chrome_b
+        assert jsonl_a == jsonl_b
+
+
+class TestObsCli:
+    def run_cli(self, *argv: str) -> str:
+        out = io.StringIO()
+        assert main(list(argv), out=out) == 0
+        return out.getvalue()
+
+    def test_trace_chrome_to_stdout(self):
+        text = self.run_cli(
+            "trace", "--scheme", "dai", "--seed", "7",
+            "--hosts", "3", "--duration", "6",
+        )
+        doc = json.loads(text)  # stdout is the bare artifact, pipe-clean
+        assert doc["traceEvents"]
+        assert doc["frameProvenance"]
+        # Tracing is switched back off after the command.
+        assert not TRACER.enabled
+
+    def test_trace_jsonl_file(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        text = self.run_cli(
+            "trace", "--format", "jsonl", "--scheme", "dai", "--seed", "7",
+            "--hosts", "3", "--duration", "6", "--out", str(out),
+        )
+        assert "# written to" in text
+        events = parse_jsonl(out.read_text())
+        assert any(e.name == "scheme.alert" for e in events)
+
+    def test_metrics_prometheus(self):
+        text = self.run_cli(
+            "metrics", "--scheme", "dai", "--seed", "7",
+            "--hosts", "3", "--duration", "6",
+        )
+        parsed = parse_prometheus(text)
+        assert any(n.startswith("scheme_alerts_total") for n in parsed)
+        assert any(n.startswith("repro_perf_") for n in parsed)
+
+    def test_metrics_json(self):
+        text = self.run_cli(
+            "metrics", "--format", "json", "--scheme", "dai", "--seed", "7",
+            "--hosts", "3", "--duration", "6",
+        )
+        snap = json.loads(text)
+        assert "metrics" in snap and "collectors" in snap

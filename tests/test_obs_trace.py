@@ -1,0 +1,187 @@
+"""Tests for the tracer and frame-provenance layer (repro.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ScenarioConfig, run_effectiveness
+from repro.obs.provenance import Provenance
+from repro.obs.trace import _NULL_SPAN, TRACER, Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    """Keep the process-global tracer inert for the rest of the suite."""
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+
+
+class TestTracerDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer()
+        span = t.span("x", a=1)
+        assert span is _NULL_SPAN
+        with span as s:
+            s.set(verdict="drop")
+        assert len(t) == 0
+
+    def test_disabled_instant_records_nothing(self):
+        t = Tracer()
+        t.instant("x", a=1)
+        assert len(t) == 0 and t.dropped == 0
+
+    def test_experiment_with_tracing_off_leaves_no_events(self):
+        config = ScenarioConfig(seed=7, n_hosts=3, attack_duration=6.0,
+                                warmup=2.0, cooldown=1.0)
+        run_effectiveness("dai", "reply", config=config)
+        assert len(TRACER) == 0
+        assert len(TRACER.provenance) == 0
+
+
+class TestTracerEnabled:
+    def test_span_records_duration_from_bound_clock(self):
+        t = Tracer()
+        t.enabled = True
+        now = [1.0]
+        t.use_clock(lambda: now[0])
+        with t.span("sim.event", event="tick") as span:
+            now[0] = 3.5
+            span.set(verdict="ok")
+        (event,) = t.events
+        assert event.name == "sim.event"
+        assert event.ts == 1.0
+        assert event.dur == 2.5
+        assert event.kind == "span"
+        assert event.attrs == {"event": "tick", "verdict": "ok"}
+
+    def test_instant_has_no_duration(self):
+        t = Tracer()
+        t.enabled = True
+        t.use_clock(lambda: 2.0)
+        t.instant("host.drop", node="a")
+        (event,) = t.events
+        assert event.dur is None and event.kind == "instant"
+
+    def test_ring_bounds_and_counts_drops(self):
+        t = Tracer(capacity=3)
+        t.enabled = True
+        for i in range(5):
+            t.instant("e", i=i)
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert [e.attrs["i"] for e in t.events] == [2, 3, 4]
+
+    def test_find_by_frame_and_names(self):
+        t = Tracer()
+        t.enabled = True
+        t.instant("a", frame=1)
+        t.instant("b", frame=1)
+        t.instant("a", frame=2)
+        assert len(t.find("a")) == 2
+        assert len(t.by_frame(1)) == 2
+        assert list(t.names()) == ["a", "b"]
+
+    def test_reset_clears_log_and_provenance(self):
+        t = Tracer()
+        t.enabled = True
+        t.instant("a")
+        t.provenance.new_frame(b"buf", "host:a", 0.0)
+        t.current_frame = 1
+        t.reset()
+        assert len(t) == 0 and len(t.provenance) == 0
+        assert t.current_frame is None
+        assert t.enabled  # reset keeps the enabled flag
+
+
+class TestProvenance:
+    def test_buffer_identity_resolves_to_frame_id(self):
+        p = Provenance()
+        buf = b"\x00" * 60
+        fid = p.new_frame(buf, "host:a", 1.5)
+        assert p.lookup(buf) == fid
+        assert p.lookup(b"\x01" * 60) is None
+        rec = p.record_for(fid)
+        assert rec.origin == "host:a" and rec.kind == "tx" and rec.time == 1.5
+
+    def test_equal_bytes_different_objects_do_not_collide(self):
+        p = Provenance()
+        a = bytes(bytearray(b"same-payload"))
+        b = bytes(bytearray(b"same-payload"))
+        fid = p.new_frame(a, "host:a", 0.0)
+        assert a is not b
+        assert p.lookup(a) == fid
+        assert p.lookup(b) is None
+
+    def test_derived_frames_chain_to_injection(self):
+        p = Provenance()
+        root_buf, tagged_buf = b"plain", b"tagged"
+        root = p.new_frame(root_buf, "attack:arp-poison/reply", 1.0)
+        child = p.derive(tagged_buf, root, "switch:sw0", 1.1)
+        chain = p.chain(child)
+        assert [r.frame_id for r in chain] == [child, root]
+        assert chain[0].kind == "derived"
+        assert p.origin_of(child) == "attack:arp-poison/reply"
+
+    def test_chain_is_cycle_safe(self):
+        p = Provenance()
+        a = p.new_frame(b"a", "host:a", 0.0)
+        # Corrupt the table into a self-loop; chain must terminate.
+        p.frames[a] = p.frames[a]._replace(parent=a)
+        assert [r.frame_id for r in p.chain(a)] == [a]
+
+    def test_pin_table_is_bounded(self):
+        p = Provenance(pin_limit=2)
+        bufs = [bytes([i]) * 8 for i in range(3)]
+        fids = [p.new_frame(b, "host:a", 0.0) for b in bufs]
+        assert p.evicted == 1
+        assert p.lookup(bufs[0]) is None  # oldest pin evicted
+        assert p.lookup(bufs[2]) == fids[2]
+        assert p.record_for(fids[0]) is not None  # record survives
+
+    def test_record_table_is_bounded(self):
+        p = Provenance(record_limit=2)
+        fids = [p.new_frame(bytes([i]), "host:a", 0.0) for i in range(3)]
+        assert p.record_for(fids[0]) is None
+        assert p.record_for(fids[2]) is not None
+
+
+class TestEndToEndProvenance:
+    def test_alert_provenance_resolves_to_attack_injection(self):
+        """The acceptance criterion: a scheme alert's causal chain ends at
+        the attacker's injected frame."""
+        TRACER.reset()
+        TRACER.enable()
+        config = ScenarioConfig(seed=7, n_hosts=3, attack_duration=6.0,
+                                warmup=2.0, cooldown=1.0)
+        try:
+            result = run_effectiveness("dai", "reply", config=config)
+        finally:
+            TRACER.disable()
+        assert result.detected
+        alerts = TRACER.find("scheme.alert")
+        assert alerts, "tracing a detected run must log scheme.alert instants"
+        resolved = [
+            TRACER.provenance.origin_of(e.attrs["frame"])
+            for e in alerts
+            if e.attrs.get("frame") is not None
+        ]
+        assert any(o and o.startswith("attack:") for o in resolved)
+        # The usual suspects all appear in the event log.
+        names = set(TRACER.names())
+        assert {"host.tx", "host.rx", "switch.forward", "scheme.inspect"} <= names
+
+    def test_spans_carry_simulation_timestamps(self):
+        TRACER.reset()
+        TRACER.enable()
+        config = ScenarioConfig(seed=7, n_hosts=3, attack_duration=6.0,
+                                warmup=2.0, cooldown=1.0)
+        try:
+            run_effectiveness(None, "reply", config=config)
+        finally:
+            TRACER.disable()
+        ts = [e.ts for e in TRACER.events]
+        assert ts == sorted(ts)  # sim time is monotonic
+        assert ts[-1] > 1.0      # and actually advanced
