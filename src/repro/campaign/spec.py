@@ -34,7 +34,7 @@ from repro.core.experiment import (
     run_resolution_latency,
 )
 from repro.errors import CampaignError
-from repro.schemes.registry import SCHEME_FACTORIES
+from repro.schemes.registry import SCHEME_FACTORIES, validate_scheme_spec
 
 __all__ = [
     "derive_seed",
@@ -147,10 +147,11 @@ class CampaignSpec:
         if not self.schemes:
             raise CampaignError("a campaign needs at least one scheme")
         for scheme in self.schemes:
-            if scheme is not None and scheme not in SCHEME_FACTORIES:
+            if scheme is not None and not validate_scheme_spec(scheme):
                 raise CampaignError(
                     f"unknown scheme {scheme!r}; known: "
-                    f"{sorted(SCHEME_FACTORIES)} (or None for the baseline)"
+                    f"{sorted(SCHEME_FACTORIES)}, '+'-joined stacks of "
+                    "those (e.g. 'dai+arpwatch'), or None for the baseline"
                 )
             if scheme is None and kind.requires_scheme:
                 raise CampaignError(

@@ -8,8 +8,9 @@ Commands
     Regenerate one of the paper's artifacts (N in 1..4) and print it;
     ``--csv`` emits machine-readable CSV instead of the text table.
 ``demo mitm|dos|flood|starvation``
-    Run a single attack scenario, optionally with ``--scheme KEY``
-    installed, and print what happened.
+    Run a single attack scenario, optionally with ``--scheme SPEC``
+    installed (a registry key or a '+'-joined stack such as
+    ``dai+arpwatch``), and print what happened.
 ``campaign``
     Sweep an experiment over schemes × variants × seeds on a worker
     pool (``--jobs``), with on-disk result caching (``--cache-dir`` /
@@ -33,9 +34,20 @@ from typing import Callable, Dict, Optional
 from repro._version import __version__
 from repro.core import report
 from repro.core.experiment import ScenarioConfig, run_effectiveness
-from repro.schemes.registry import SCHEME_FACTORIES, all_profiles
+from repro.schemes.registry import SCHEME_FACTORIES, all_profiles, validate_scheme_spec
 
 __all__ = ["main", "build_parser"]
+
+
+def _scheme_spec(value: str) -> str:
+    """argparse type for ``--scheme``: a registry key or a '+'-stack."""
+    if not validate_scheme_spec(value):
+        raise argparse.ArgumentTypeError(
+            f"unknown scheme {value!r}; known: {', '.join(sorted(SCHEME_FACTORIES))} "
+            "(join with '+' to stack, e.g. dai+arpwatch)"
+        )
+    return value
+
 
 _TABLES: Dict[int, Callable[[], "report.Artifact"]] = {
     1: report.table_1_criteria,
@@ -77,8 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
         "attack", choices=["mitm", "dos", "flood", "starvation"]
     )
     demo.add_argument(
-        "--scheme", default=None, choices=sorted(SCHEME_FACTORIES),
-        help="defense to install (default: none)",
+        "--scheme", default=None, type=_scheme_spec, metavar="SPEC",
+        help="defense to install: a scheme key or a '+'-joined stack "
+             "such as dai+arpwatch (default: none)",
     )
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--duration", type=float, default=30.0)
@@ -95,8 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument(
         "--schemes", default="all",
-        help="comma-separated scheme keys; 'none' is the no-defense "
-             "baseline, 'all' sweeps the whole registry (default: all)",
+        help="comma-separated scheme specs — registry keys or '+'-joined "
+             "stacks like dai+arpwatch; 'none' is the no-defense baseline, "
+             "'all' sweeps the whole registry (default: all)",
     )
     camp.add_argument(
         "--techniques", default="reply",
@@ -133,8 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _obs_experiment_args(p) -> None:
         p.add_argument(
-            "--scheme", default="dai", choices=sorted(SCHEME_FACTORIES),
-            help="defense to install (default: dai)",
+            "--scheme", default="dai", type=_scheme_spec, metavar="SPEC",
+            help="defense to install: a scheme key or a '+'-joined stack "
+                 "such as dai+arpwatch (default: dai)",
         )
         p.add_argument(
             "--technique", default="reply",
@@ -493,9 +508,9 @@ def _demo_dos(args, out) -> int:
 
     scenario = Scenario(ScenarioConfig(seed=args.seed))
     if args.scheme is not None:
-        from repro.schemes.registry import make_scheme
+        from repro.schemes.registry import make_defense
 
-        make_scheme(args.scheme).install(lan=scenario.lan,
+        make_defense(args.scheme).install(lan=scenario.lan,
                                          protected=scenario.protected_hosts())
     scenario.warm_caches()
     replies = []
@@ -528,9 +543,9 @@ def _demo_flood(args, out) -> int:
 
     scenario = Scenario(ScenarioConfig(seed=args.seed))
     if args.scheme is not None:
-        from repro.schemes.registry import make_scheme
+        from repro.schemes.registry import make_defense
 
-        make_scheme(args.scheme).install(lan=scenario.lan,
+        make_defense(args.scheme).install(lan=scenario.lan,
                                          protected=scenario.protected_hosts())
     flood = MacFlood(scenario.attacker)
     flood.start()
@@ -554,9 +569,9 @@ def _demo_starvation(args, out) -> int:
     server = lan.enable_dhcp(pool_start=100, pool_end=150)
     attacker = lan.add_host("mallory")
     if args.scheme is not None:
-        from repro.schemes.registry import make_scheme
+        from repro.schemes.registry import make_defense
 
-        make_scheme(args.scheme).install(lan, protected=[lan.gateway, attacker])
+        make_defense(args.scheme).install(lan, protected=[lan.gateway, attacker])
     attack = DhcpStarvation(attacker, rate_per_second=30)
     attack.start()
     sim.run(until=min(args.duration, 30.0))

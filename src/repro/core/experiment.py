@@ -25,7 +25,7 @@ from repro.errors import ExperimentError
 from repro.l2.topology import Lan
 from repro.net.addresses import Ipv4Address
 from repro.schemes.base import Scheme
-from repro.schemes.registry import make_scheme
+from repro.schemes.registry import make_defense
 from repro.sim.simulator import Simulator
 from repro.stack.host import Host
 from repro.stack.os_profiles import LINUX, PROFILES, OsProfile, WINDOWS_XP
@@ -194,7 +194,15 @@ class Scenario:
 
 
 def _make(scheme_key: Optional[str], **kwargs) -> Optional[Scheme]:
-    return make_scheme(scheme_key, **kwargs) if scheme_key is not None else None
+    """Build the defense under test from a scheme key or stack spec.
+
+    ``scheme_key`` may be a single registry key (``"dai"``) or an
+    ordered stack spec (``"dai+arpwatch"``); ``None`` runs the baseline
+    with no defense.  Result dataclasses record the spec string
+    verbatim, so stacks round-trip through ``result_from_dict`` exactly
+    like single schemes.
+    """
+    return make_defense(scheme_key, **kwargs) if scheme_key is not None else None
 
 
 # ======================================================================

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Set
 
 from repro.errors import CodecError, TopologyError
+from repro.hooks import HookPoint, Pipeline
 from repro.l2.cam import CamTable, DEFAULT_AGING, DEFAULT_CAPACITY
 from repro.l2.device import Device, Port
 from repro.obs.trace import TRACER
@@ -50,7 +51,12 @@ class Switch(Device):
         self.cam = CamTable(capacity=cam_capacity, aging=cam_aging)
         self._cam_capacity = cam_capacity
         self._cam_aging = cam_aging
-        self.ingress_filters: List[IngressFilter] = []
+        #: Switch-resident defenses install here (repro.hooks pipeline:
+        #: ordered, fault-isolated, removal-token based).
+        self.hooks = Pipeline(node=name)
+        self.ingress_filters: HookPoint = self.hooks.point(
+            "switch.ingress", fallback_label="ingress-filter"
+        )
         self._mirror_sources: Set[int] = set()
         self._mirror_target: Optional[int] = None
         self.recorder = TraceRecorder()
@@ -123,15 +129,14 @@ class Switch(Device):
             self._vlan_cams[vid] = cam
         return cam
 
-    def add_ingress_filter(self, filt: IngressFilter) -> Callable[[], None]:
-        """Install an ingress filter; returns an uninstaller."""
-        self.ingress_filters.append(filt)
-
-        def remove() -> None:
-            if filt in self.ingress_filters:
-                self.ingress_filters.remove(filt)
-
-        return remove
+    def add_ingress_filter(
+        self,
+        filt: IngressFilter,
+        priority: int = 0,
+        owner: Optional[str] = None,
+    ) -> Callable[[], None]:
+        """Install an ingress filter; returns a one-shot uninstaller."""
+        return self.ingress_filters.add(filt, priority=priority, owner=owner)
 
     # ------------------------------------------------------------------
     # Data plane
@@ -169,7 +174,7 @@ class Switch(Device):
             self._vlan_on_frame(port, frame, data)
             return
 
-        if self.ingress_filters:
+        if self.ingress_filters.hooks:
             if not self._run_ingress_filters(port, frame):
                 self.dropped_frames += 1
                 self._mirror(port, data)  # monitors still see dropped frames
@@ -193,36 +198,23 @@ class Switch(Device):
         self._send(out_index, data)
 
     def _run_ingress_filters(self, port: Port, frame: EthernetFrame) -> bool:
-        """Run every ingress filter; False means drop.
+        """Run every ingress filter through the hook pipeline; False = drop.
 
-        With tracing on, each filter's decision becomes a
-        ``scheme.inspect`` span labeled by the installing scheme (filters
-        carry an ``_obs_scheme`` attribute) and drops emit an instant.
+        One code path for traced and untraced runs: the hook point emits
+        a ``scheme.inspect`` span per filter when tracing is on, isolates
+        filter crashes (fail-open/closed per its policy), and attributes
+        drops to the vetoing scheme.
         """
-        tracer = TRACER
-        if not tracer.enabled:
-            for filt in list(self.ingress_filters):
-                if not filt(port, frame):
-                    return False
-            return True
-        fid = tracer.current_frame
-        for filt in list(self.ingress_filters):
-            scheme = getattr(filt, "_obs_scheme", None) or "ingress-filter"
-            with tracer.span(
-                "scheme.inspect", scheme=scheme, node=self.name, frame=fid
-            ) as span:
-                allowed = filt(port, frame)
-                span.set(verdict="allow" if allowed else "drop")
-            if not allowed:
-                tracer.instant(
-                    "switch.drop",
-                    node=self.name,
-                    port=port.name,
-                    scheme=scheme,
-                    frame=fid,
-                )
-                return False
-        return True
+        allowed, scheme = self.ingress_filters.allow(port, frame)
+        if not allowed and TRACER.enabled:
+            TRACER.instant(
+                "switch.drop",
+                node=self.name,
+                port=port.name,
+                scheme=scheme,
+                frame=TRACER.current_frame,
+            )
+        return allowed
 
     def _vlan_on_frame(self, port: Port, frame: EthernetFrame, data: bytes) -> None:
         """The VLAN-aware data plane: classify, learn and forward per VID."""
@@ -251,7 +243,7 @@ class Switch(Device):
                 self.vlan_violations += 1  # native VLAN pruned off this trunk
                 return
 
-        if self.ingress_filters:
+        if self.ingress_filters.hooks:
             if not self._run_ingress_filters(port, inner):
                 self.dropped_frames += 1
                 self._mirror(port, data)

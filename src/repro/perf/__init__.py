@@ -37,6 +37,8 @@ class PerfCounters:
         "eager_decodes",
         "flood_buffer_reuses",
         "trace_drops",
+        "hook_errors",
+        "dedup_evictions",
     )
 
     __slots__ = ADDITIVE + (
@@ -52,6 +54,10 @@ class PerfCounters:
         self.eager_decodes = 0
         self.flood_buffer_reuses = 0
         self.trace_drops = 0
+        #: Hook exceptions isolated by the pipeline (repro.hooks).
+        self.hook_errors = 0
+        #: Alert-dedup LRU evictions (bounded Scheme._dedup_seen).
+        self.dedup_evictions = 0
         self._intern_hits_base = 0
         self._intern_misses_base = 0
 
@@ -107,6 +113,8 @@ class PerfCounters:
             "eager_decodes": self.eager_decodes,
             "flood_buffer_reuses": self.flood_buffer_reuses,
             "trace_drops": self.trace_drops,
+            "hook_errors": self.hook_errors,
+            "dedup_evictions": self.dedup_evictions,
             "intern_hits": self.intern_hits,
             "intern_misses": self.intern_misses,
             "intern_hit_rate": round(self.intern_hit_rate, 4),
@@ -138,6 +146,8 @@ class PerfCounters:
     def summary(self) -> str:
         """One-line human summary (used by campaign reports)."""
         drops = f", trace-drops={self.trace_drops}" if self.trace_drops else ""
+        if self.hook_errors:
+            drops += f", hook-errors={self.hook_errors}"
         return (
             f"encodes={self.packet_encodes} "
             f"avoided={self.encodes_avoided} ({self.encode_memo_rate:.0%} memoized), "

@@ -18,9 +18,19 @@ from repro.schemes.hybrid import HybridDetector
 from repro.schemes.middleware import HostMiddleware
 from repro.schemes.monitor_base import BindingDatabase, MonitorScheme, ObservedStation
 from repro.schemes.port_security import PortSecurity
-from repro.schemes.registry import ALL_SCHEMES, SCHEME_FACTORIES, all_profiles, make_scheme
+from repro.schemes.registry import (
+    ALL_SCHEMES,
+    SCHEME_FACTORIES,
+    all_profiles,
+    make_defense,
+    make_scheme,
+    make_scheme_stack,
+    parse_stack,
+    validate_scheme_spec,
+)
 from repro.schemes.sarp import SecureArp
 from repro.schemes.snort import SnortArpspoof
+from repro.schemes.stack import STACK_SEPARATOR, SchemeStack
 from repro.schemes.static_entries import StaticArpEntries
 from repro.schemes.tarp import TicketArp
 
@@ -48,8 +58,14 @@ __all__ = [
     "ActiveProbe",
     "HostMiddleware",
     "HybridDetector",
+    "SchemeStack",
+    "STACK_SEPARATOR",
     "ALL_SCHEMES",
     "SCHEME_FACTORIES",
     "make_scheme",
+    "make_scheme_stack",
+    "make_defense",
+    "parse_stack",
+    "validate_scheme_spec",
     "all_profiles",
 ]

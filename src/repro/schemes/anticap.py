@@ -57,8 +57,7 @@ class Anticap(Scheme):
 
     def _install(self, lan: Lan, protected: List[Host]) -> None:
         for host in protected:
-            remove = host.add_arp_guard(self._mark_hook(self._guard))
-            self._on_teardown(remove)
+            self._attach(host.arp_guards, self._guard)
 
     def _guard(
         self, host: Host, arp: ArpPacket, frame: EthernetFrame

@@ -76,8 +76,7 @@ class Antidote(Scheme):
     def _install(self, lan: Lan, protected: List[Host]) -> None:
         for host in protected:
             self._blacklists[host.name] = set()
-            remove = host.add_arp_guard(self._mark_hook(self._make_guard()))
-            self._on_teardown(remove)
+            self._attach(host.arp_guards, self._make_guard())
 
     def _make_guard(self):
         def guard(

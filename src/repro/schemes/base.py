@@ -16,10 +16,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import SchemeError
+from repro.hooks import HookPoint, TeardownStack
 from repro.l2.topology import Lan
 from repro.net.addresses import Ipv4Address, MacAddress
 from repro.obs.registry import REGISTRY
 from repro.obs.trace import TRACER
+from repro.perf import PERF
 from repro.stack.host import Host
 
 __all__ = [
@@ -114,11 +116,18 @@ class Scheme(ABC):
 
     profile: SchemeProfile
 
+    #: Bound on the alert-dedup table (see :meth:`raise_alert`): long
+    #: campaigns churn through unbounded (kind, ip, mac) combinations,
+    #: so the table is an LRU capped here; evictions are counted in
+    #: ``PERF.dedup_evictions``.
+    DEDUP_CAP = 1024
+
     def __init__(self) -> None:
         self.alerts: List[Alert] = []
         self.installed = False
         self._lan: Optional[Lan] = None
-        self._teardowns: List = []
+        key = getattr(type(self), "profile", None)
+        self._teardowns = TeardownStack(owner=key.key if key is not None else None)
         #: Extra frames this scheme itself put on the wire (probes,
         #: key-server queries...), for the overhead figures.
         self.messages_sent = 0
@@ -145,11 +154,13 @@ class Scheme(ABC):
         self.installed = True
 
     def uninstall(self) -> None:
+        """Detach the scheme.  Idempotent; every teardown runs even when
+        some raise (failures are isolated, counted in
+        ``hook_errors_total{point="scheme.teardown"}`` and attributed to
+        this scheme)."""
         if not self.installed:
             return
-        for teardown in reversed(self._teardowns):
-            teardown()
-        self._teardowns.clear()
+        self._teardowns.close()
         self.installed = False
         self._lan = None
 
@@ -162,7 +173,18 @@ class Scheme(ABC):
         """Scheme-specific attachment logic."""
 
     def _on_teardown(self, callback) -> None:
-        self._teardowns.append(callback)
+        self._teardowns.push(callback)
+
+    def _attach(self, point: HookPoint, fn, priority: int = 0) -> None:
+        """Install ``fn`` on a hook point, owned by this scheme.
+
+        The hook is labeled for trace spans (:meth:`_mark_hook`), its
+        faults/drops are attributed to this scheme's key, and its
+        removal token is registered for :meth:`uninstall`.
+        """
+        token = point.add(self._mark_hook(fn), priority=priority,
+                          owner=self.profile.key)
+        self._on_teardown(token)
 
     def _mark_hook(self, fn):
         """Label a guard/filter/tap callable with this scheme's key.
@@ -206,7 +228,14 @@ class Scheme(ABC):
             if last is not None and time - last < dedup_window:
                 self.suppressed_alerts += 1
                 return None
+            # LRU-bounded: refresh recency on update, evict the oldest
+            # entry past DEDUP_CAP so campaigns can run indefinitely.
+            if last is not None:
+                del self._dedup_seen[key]
             self._dedup_seen[key] = time
+            if len(self._dedup_seen) > self.DEDUP_CAP:
+                del self._dedup_seen[next(iter(self._dedup_seen))]
+                PERF.dedup_evictions += 1
         frame_id = TRACER.current_frame if TRACER.enabled else None
         alert = Alert(
             time=time,

@@ -138,8 +138,7 @@ class DynamicArpInspection(Scheme):
             self.table[ip] = SnoopedBinding(
                 ip=ip, mac=mac, expires_at=float("inf"), static=True
             )
-        remove = lan.switch.add_ingress_filter(self._mark_hook(self._filter))
-        self._on_teardown(remove)
+        self._attach(lan.switch.ingress_filters, self._filter)
 
     # ------------------------------------------------------------------
     # Data plane

@@ -73,8 +73,7 @@ class DarpiHostInspection(Scheme):
 
     def _install(self, lan: Lan, protected: List[Host]) -> None:
         for host in protected:
-            remove = host.add_arp_guard(self._mark_hook(self._make_guard()))
-            self._on_teardown(remove)
+            self._attach(host.arp_guards, self._make_guard())
 
     def _make_guard(self):
         def guard(

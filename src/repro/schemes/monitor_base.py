@@ -102,8 +102,7 @@ class MonitorScheme(Scheme):
                 f"{self.profile.key} needs a monitor station; call lan.add_monitor() first"
             )
         self.monitor = lan.monitor
-        self.monitor.frame_taps.append(self._mark_hook(self._tap))
-        self._on_teardown(lambda: self.monitor.frame_taps.remove(self._tap))
+        self._attach(self.monitor.frame_taps, self._tap)
         self._setup(lan)
 
     def _setup(self, lan: Lan) -> None:

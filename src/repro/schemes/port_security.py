@@ -80,8 +80,7 @@ class PortSecurity(Scheme):
                 self._trusted.add(lan.port_of(lan.monitor.name))
             # Inter-switch trunks legitimately carry many MACs.
             self._trusted |= lan.trunk_ports
-        remove = lan.switch.add_ingress_filter(self._mark_hook(self._filter))
-        self._on_teardown(remove)
+        self._attach(lan.switch.ingress_filters, self._filter)
 
     def _filter(self, port: Port, frame: EthernetFrame) -> bool:
         if port.index in self._trusted:

@@ -1,4 +1,11 @@
-"""Registry of all analyzed schemes, in the paper's presentation order."""
+"""Registry of all analyzed schemes, in the paper's presentation order.
+
+Besides single-scheme lookup (:func:`make_scheme`), the registry speaks
+*stack specs*: ``"dai+arpwatch"`` names an ordered
+:class:`~repro.schemes.stack.SchemeStack` of registry schemes, layered
+left to right.  :func:`make_defense` is the one entry point the
+experiment layer, campaign grids and CLI use — it accepts either form.
+"""
 
 from __future__ import annotations
 
@@ -16,10 +23,20 @@ from repro.schemes.middleware import HostMiddleware
 from repro.schemes.port_security import PortSecurity
 from repro.schemes.sarp import SecureArp
 from repro.schemes.snort import SnortArpspoof
+from repro.schemes.stack import STACK_SEPARATOR, SchemeStack
 from repro.schemes.static_entries import StaticArpEntries
 from repro.schemes.tarp import TicketArp
 
-__all__ = ["ALL_SCHEMES", "SCHEME_FACTORIES", "make_scheme", "all_profiles"]
+__all__ = [
+    "ALL_SCHEMES",
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "all_profiles",
+    "parse_stack",
+    "validate_scheme_spec",
+    "make_scheme_stack",
+    "make_defense",
+]
 
 #: Scheme classes in canonical (paper) order.
 ALL_SCHEMES = (
@@ -45,13 +62,74 @@ SCHEME_FACTORIES: Dict[str, Callable[[], Scheme]] = {
 
 
 def make_scheme(key: str, **kwargs) -> Scheme:
-    """Instantiate a scheme by its registry key."""
+    """Instantiate a single scheme by its registry key."""
     try:
         factory = SCHEME_FACTORIES[key]
     except KeyError:
         known = ", ".join(sorted(SCHEME_FACTORIES))
         raise KeyError(f"unknown scheme {key!r}; known: {known}") from None
     return factory(**kwargs)
+
+
+def parse_stack(spec: str) -> List[str]:
+    """Split a stack spec into its ordered scheme keys, validating each.
+
+    ``"dai"`` → ``["dai"]``; ``"dai+arpwatch"`` → ``["dai",
+    "arpwatch"]``.  Raises :class:`KeyError` for unknown keys and
+    :class:`ValueError` for malformed specs (empty segments, duplicate
+    members — installing one scheme twice in a stack is never
+    meaningful and usually a typo).
+    """
+    keys = [k.strip() for k in spec.split(STACK_SEPARATOR)]
+    if not spec or any(not k for k in keys):
+        raise ValueError(
+            f"malformed scheme spec {spec!r}: expected key or key+key+..."
+        )
+    seen = set()
+    for key in keys:
+        if key not in SCHEME_FACTORIES:
+            known = ", ".join(sorted(SCHEME_FACTORIES))
+            raise KeyError(f"unknown scheme {key!r} in spec {spec!r}; known: {known}")
+        if key in seen:
+            raise ValueError(f"duplicate scheme {key!r} in stack spec {spec!r}")
+        seen.add(key)
+    return keys
+
+
+def validate_scheme_spec(spec: str) -> bool:
+    """``True`` iff ``spec`` names a known scheme or a well-formed stack."""
+    try:
+        parse_stack(spec)
+    except (KeyError, ValueError):
+        return False
+    return True
+
+
+def make_scheme_stack(spec: str) -> SchemeStack:
+    """Instantiate an ordered :class:`SchemeStack` from a spec string.
+
+    Always returns a stack, even for a single key; use
+    :func:`make_defense` when a bare scheme should stay bare.
+    """
+    return SchemeStack([make_scheme(key) for key in parse_stack(spec)], key=spec)
+
+
+def make_defense(spec: str, **kwargs) -> Scheme:
+    """Instantiate a scheme *or stack* from a spec string.
+
+    Single-key specs pass ``kwargs`` to the scheme constructor; stack
+    specs take no kwargs (per-member configuration would be ambiguous —
+    build the :class:`SchemeStack` by hand for that).
+    """
+    keys = parse_stack(spec)
+    if len(keys) == 1:
+        return make_scheme(keys[0], **kwargs)
+    if kwargs:
+        raise ValueError(
+            f"scheme kwargs are only supported for single schemes, "
+            f"not stacks ({spec!r}); construct SchemeStack directly instead"
+        )
+    return make_scheme_stack(spec)
 
 
 def all_profiles() -> List[SchemeProfile]:

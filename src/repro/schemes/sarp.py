@@ -108,9 +108,9 @@ class SecureArp(Scheme):
             client.cache[akd_host.ip] = akd_keys.public  # bootstrap trust
             state = _HostState(keypair=keypair, client=client)
             self._states[host.name] = state
-            self._attach(host, state)
+            self._attach_host(host, state)
 
-    def _attach(self, host: Host, state: _HostState) -> None:
+    def _attach_host(self, host: Host, state: _HostState) -> None:
         saved_profile = host.profile
         host.profile = STRICT
 
@@ -133,14 +133,13 @@ class SecureArp(Scheme):
             else 0.0
         )
 
-        remove_guard = host.add_arp_guard(self._mark_hook(self._make_guard(state)))
+        self._attach(host.arp_guards, self._make_guard(state))
 
         def restore() -> None:
             host.profile = saved_profile
             host.arp_tx_transform = saved_transform
             host.arp_rx_cost = saved_rx_cost
             host.arp_tx_cost = saved_tx_cost
-            remove_guard()
 
         self._on_teardown(restore)
 

@@ -1,0 +1,149 @@
+"""Ordered scheme stacks — layered defenses installed as one unit.
+
+The paper's matrix rates each scheme alone, but real deployments layer
+them: DAI at the switch plus ArpWatch at the monitor station covers both
+prevention and after-the-fact detection.  :class:`SchemeStack` composes
+an *ordered* list of schemes behind the single-:class:`Scheme` contract
+the experiment layer already speaks, so every ``run_*`` function and the
+campaign grid accept a ``"dai+arpwatch"`` spec with no special cases:
+
+* **install order is spec order** — schemes attach left to right, so
+  their hooks dispatch in the order written (ties on hook priority keep
+  insertion order, see :mod:`repro.hooks`);
+* **mid-install failure unwinds** — if the third scheme's install
+  raises, the first two are uninstalled (reverse order) before the
+  error propagates, leaving the LAN clean;
+* **uninstall is reverse order** and fault-isolated per member (via the
+  base :class:`~repro.schemes.base.Scheme` teardown stack);
+* **reporting is merged** — ``alerts`` interleaves member alerts by
+  time, ``messages_sent``/``suppressed_alerts``/``state_size`` sum, and
+  the synthetic :class:`~repro.schemes.base.SchemeProfile` combines the
+  members' qualitative claims (best coverage per variant, OR of the
+  infrastructure requirements, max cost).
+
+Result dataclasses store the stack as its plain spec string
+(``scheme="dai+arpwatch"``), so serialized results round-trip through
+``result_from_dict`` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import SchemeError
+from repro.schemes.base import Alert, Coverage, Scheme, SchemeProfile
+from repro.stack.host import Host
+
+__all__ = ["SchemeStack", "STACK_SEPARATOR"]
+
+#: Spec-string separator: ``"dai+arpwatch"`` layers DAI under ArpWatch.
+STACK_SEPARATOR = "+"
+
+_COST_RANK = {"free": 0, "low": 1, "medium": 2, "high": 3}
+_COVERAGE_RANK = {
+    Coverage.NONE: 0,
+    Coverage.PARTIAL: 1,
+    Coverage.DETECTS: 2,
+    Coverage.PREVENTS: 3,
+}
+
+
+def _combined_profile(schemes: Sequence[Scheme], key: str) -> SchemeProfile:
+    """Fold member profiles into one synthetic stack profile."""
+    profiles = [s.profile for s in schemes]
+    kinds = {p.kind for p in profiles}
+    placements: List[str] = []
+    for p in profiles:
+        if p.placement not in placements:
+            placements.append(p.placement)
+    coverage = {}
+    for p in profiles:
+        for variant, level in p.claimed_coverage.items():
+            best = coverage.get(variant, Coverage.NONE)
+            if _COVERAGE_RANK[level] > _COVERAGE_RANK[best]:
+                coverage[variant] = level
+    limitations = tuple(
+        f"{p.key}: {item}" for p in profiles for item in p.limitations
+    )
+    return SchemeProfile(
+        key=key,
+        display_name=" + ".join(p.display_name for p in profiles),
+        kind=kinds.pop() if len(kinds) == 1 else "hybrid",
+        placement="+".join(placements),
+        requires_infra_change=any(p.requires_infra_change for p in profiles),
+        requires_host_change=any(p.requires_host_change for p in profiles),
+        requires_crypto=any(p.requires_crypto for p in profiles),
+        supports_dhcp_networks=all(p.supports_dhcp_networks for p in profiles),
+        cost=max((p.cost for p in profiles), key=lambda c: _COST_RANK.get(c, 0),
+                 default="free"),
+        claimed_coverage=coverage,
+        limitations=limitations,
+        reference="composed stack",
+    )
+
+
+class SchemeStack(Scheme):
+    """An ordered composite of schemes, installed and reported as one."""
+
+    def __init__(self, schemes: Sequence[Scheme], key: Optional[str] = None) -> None:
+        members = list(schemes)
+        if not members:
+            raise SchemeError("a scheme stack needs at least one member")
+        self.schemes: List[Scheme] = members
+        super().__init__()
+        stack_key = key or STACK_SEPARATOR.join(s.profile.key for s in members)
+        self.profile = _combined_profile(members, stack_key)
+        self._teardowns.owner = stack_key
+
+    # -- merged reporting ----------------------------------------------
+    # The base class assigns these as instance attributes in __init__;
+    # the setters stash that into the stack's *own* tally while the
+    # getters fold the members in, so ``scheme.alerts`` and the overhead
+    # counters keep their single-scheme meaning for callers.
+    @property
+    def alerts(self) -> List[Alert]:  # type: ignore[override]
+        merged = list(self._own_alerts)
+        for scheme in self.schemes:
+            merged.extend(scheme.alerts)
+        merged.sort(key=lambda a: a.time)
+        return merged
+
+    @alerts.setter
+    def alerts(self, value: List[Alert]) -> None:
+        self._own_alerts = list(value)
+
+    @property
+    def messages_sent(self) -> int:  # type: ignore[override]
+        return self._own_messages + sum(s.messages_sent for s in self.schemes)
+
+    @messages_sent.setter
+    def messages_sent(self, value: int) -> None:
+        self._own_messages = value
+
+    @property
+    def suppressed_alerts(self) -> int:  # type: ignore[override]
+        return self._own_suppressed + sum(s.suppressed_alerts for s in self.schemes)
+
+    @suppressed_alerts.setter
+    def suppressed_alerts(self, value: int) -> None:
+        self._own_suppressed = value
+
+    # -- lifecycle ------------------------------------------------------
+    def _install(self, lan, protected: List[Host]) -> None:
+        try:
+            for scheme in self.schemes:
+                scheme.install(lan, protected=protected)
+                self._on_teardown(scheme.uninstall)
+        except Exception:
+            # Unwind the members that already attached so a failed stack
+            # leaves the LAN exactly as it found it (the teardowns
+            # registered so far cover exactly those members).
+            self._teardowns.close()
+            raise
+
+    def state_size(self) -> int:
+        return sum(s.state_size() for s in self.schemes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "installed" if self.installed else "detached"
+        return f"SchemeStack({self.profile.key}, {state}, members={len(self.schemes)})"

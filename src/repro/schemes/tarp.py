@@ -89,9 +89,9 @@ class TicketArp(Scheme):
                 continue
             ticket = self.lta.issue(host.ip, host.mac, now=lan.sim.now)
             self._tickets[host.name] = ticket
-            self._attach(host, ticket)
+            self._attach_host(host, ticket)
 
-    def _attach(self, host: Host, ticket: Ticket) -> None:
+    def _attach_host(self, host: Host, ticket: Ticket) -> None:
         saved_profile = host.profile
         host.profile = STRICT
 
@@ -126,14 +126,13 @@ class TicketArp(Scheme):
             else 0.0
         )
 
-        remove_guard = host.add_arp_guard(self._mark_hook(self._guard))
+        self._attach(host.arp_guards, self._guard)
 
         def restore() -> None:
             host.profile = saved_profile
             host.arp_tx_transform = saved_transform
             host.arp_rx_cost = saved_rx_cost
             host.arp_tx_cost = saved_tx_cost
-            remove_guard()
 
         self._on_teardown(restore)
 

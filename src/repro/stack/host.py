@@ -11,6 +11,12 @@ defenses attach:
   S-ARP/TARP use it to append signatures/tickets.
 * ``arp_rx_cost`` / ``arp_tx_cost`` — charge signing/verification time to
   the simulated clock, so crypto schemes show up in resolution latency.
+
+``arp_guards``, ``frame_taps`` and ``forward_taps`` are
+:class:`repro.hooks.HookPoint` pipelines: deterministically ordered,
+fault-isolated (a crashing guard is counted and attributed, not fatal),
+and safe against removal during dispatch.  They keep a list-compatible
+``append``/``remove`` surface for ad-hoc taps.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CodecError, StackError
+from repro.hooks import HookPoint, Pipeline
 from repro.l2.device import Device, Port
 from repro.net.addresses import (
     BROADCAST_IP,
@@ -108,14 +115,21 @@ class Host(Device):
         self.promiscuous = False
         self.ip_forward = False
 
-        # Scheme attachment points -------------------------------------
-        self.arp_guards: List[ArpGuard] = []
+        # Scheme attachment points — every list-like surface is a
+        # fault-isolated HookPoint (repro.hooks): deterministic ordering,
+        # one-shot removal tokens, per-scheme error attribution.
+        self.hooks = Pipeline(node=name)
+        #: ARP input guards; first non-None verdict wins.
+        self.arp_guards: HookPoint = self.hooks.point(
+            "host.arp_guard", fallback_label="arp-guard"
+        )
         self.arp_tx_transform: Optional[Callable[[ArpPacket], ArpPacket]] = None
         self.arp_rx_cost: Optional[Callable[[ArpPacket], float]] = None
         self.arp_tx_cost: Optional[Callable[[ArpPacket], float]] = None
-        self.frame_taps: List[Callable[[EthernetFrame, bytes], None]] = []
+        #: Promiscuous observers of every received frame (monitors, sniffers).
+        self.frame_taps: HookPoint = self.hooks.point("host.frame_tap")
         #: Forward taps may return a replacement packet (tampering) or None.
-        self.forward_taps: List[Callable[[Ipv4Packet], Optional[Ipv4Packet]]] = []
+        self.forward_taps: HookPoint = self.hooks.point("host.forward_tap")
 
         # Transport state ------------------------------------------------
         self._pending_arp: Dict[Ipv4Address, _PendingResolution] = {}
@@ -178,22 +192,18 @@ class Host(Device):
     def udp_unbind(self, port: int) -> None:
         self._udp_handlers.pop(port, None)
 
-    def add_arp_guard(self, guard: ArpGuard) -> Callable[[], None]:
-        """Install an ARP input guard; returns an uninstaller."""
-        self.arp_guards.append(guard)
-
-        def remove() -> None:
-            if guard in self.arp_guards:
-                self.arp_guards.remove(guard)
-
-        return remove
+    def add_arp_guard(
+        self, guard: ArpGuard, priority: int = 0, owner: Optional[str] = None
+    ) -> Callable[[], None]:
+        """Install an ARP input guard; returns a one-shot uninstaller."""
+        return self.arp_guards.add(guard, priority=priority, owner=owner)
 
     # ==================================================================
     # Frame input
     # ==================================================================
     def on_frame(self, port: Port, data: bytes) -> None:
         if (
-            not self.frame_taps
+            not self.frame_taps.hooks
             and not self.promiscuous
             and len(data) >= 14
             and not data[0] & 1  # I/G bit clear: unicast destination
@@ -228,23 +238,10 @@ class Host(Device):
             self._frame_dispatch(frame, data)
 
     def _frame_dispatch(self, frame: EthernetFrame, data: bytes) -> None:
-        if self.frame_taps:
-            if TRACER.enabled:
-                for tap in list(self.frame_taps):
-                    scheme = getattr(tap, "_obs_scheme", None)
-                    if scheme is None:
-                        tap(frame, data)
-                        continue
-                    with TRACER.span(
-                        "scheme.inspect",
-                        scheme=scheme,
-                        node=self.name,
-                        frame=TRACER.current_frame,
-                    ):
-                        tap(frame, data)
-            else:
-                for tap in list(self.frame_taps):
-                    tap(frame, data)
+        if self.frame_taps.hooks:
+            # The hook point handles tracing (one scheme.inspect span per
+            # labeled tap) and isolates tap exceptions.
+            self.frame_taps.emit(frame, data)
         addressed = frame.dst == self.mac or frame.dst.is_multicast
         if not addressed:
             # NIC in non-promiscuous mode filters foreign unicast; in
@@ -287,16 +284,12 @@ class Host(Device):
         fid: Optional[int] = None,
     ) -> None:
         tracer = TRACER
-        if tracer.enabled:
-            if fid is not None:
-                tracer.current_frame = fid
-            verdict = self._run_arp_guards(arp, frame, tracer)
-        else:
-            verdict = None
-            for guard in list(self.arp_guards):
-                verdict = guard(self, arp, frame)
-                if verdict is not None:
-                    break
+        if tracer.enabled and fid is not None:
+            tracer.current_frame = fid
+        # One code path for traced and untraced runs: the hook point
+        # emits per-guard scheme.inspect spans itself when tracing is on,
+        # isolates guard crashes, and applies the fail-open/closed policy.
+        verdict = self.arp_guards.verdict(self, arp, frame)
         if verdict is False:
             self.counters["arp_guard_drops"] += 1
             if tracer.enabled:
@@ -316,20 +309,6 @@ class Host(Device):
             self._arp_request_in(arp, forced)
         else:
             self._arp_reply_in(arp, frame, forced)
-
-    def _run_arp_guards(self, arp, frame, tracer) -> Optional[bool]:
-        """Traced guard chain: one ``scheme.inspect`` span per guard."""
-        fid = tracer.current_frame
-        for guard in list(self.arp_guards):
-            scheme = getattr(guard, "_obs_scheme", None) or "arp-guard"
-            with tracer.span(
-                "scheme.inspect", scheme=scheme, node=self.name, frame=fid
-            ) as span:
-                verdict = guard(self, arp, frame)
-                if verdict is not None:
-                    span.set(verdict="accept" if verdict else "drop")
-                    return verdict
-        return None
 
     def _arp_gratuitous(self, arp: ArpPacket, forced: bool) -> None:
         if not (forced or self.profile.accept_gratuitous):
@@ -642,10 +621,7 @@ class Host(Device):
             return
         out = packet.decremented()
         self.counters["ip_forwarded"] += 1
-        for tap in list(self.forward_taps):
-            replacement = tap(out)
-            if replacement is not None:
-                out = replacement
+        out = self.forward_taps.transform(out)
         if self._on_link(out.dst):
             next_hop = out.dst
         elif self.gateway is not None:

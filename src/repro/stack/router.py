@@ -53,10 +53,7 @@ class Router(Host):
             return
         out = packet.decremented()
         self.counters["ip_forwarded"] += 1
-        for tap in list(self.forward_taps):
-            replacement = tap(out)
-            if replacement is not None:
-                out = replacement
+        out = self.forward_taps.transform(out)
         if self._on_link(out.dst):
             self.resolve(out.dst, on_resolved=lambda mac: self._tx_ip(mac, out))
             return
