@@ -10,12 +10,8 @@ from __future__ import annotations
 
 from repro.analysis.tables import render_table
 from repro.attacks.mac_flood import MacFlood
-from repro.core.experiment import (
-    ScenarioConfig,
-    run_detection_latency,
-    run_effectiveness,
-    run_resolution_latency,
-)
+from repro.core import api
+from repro.core.experiment import ScenarioConfig
 from repro.crypto.sign import CryptoCostModel
 from repro.l2.topology import Lan
 from repro.sim.simulator import Simulator
@@ -33,7 +29,9 @@ def test_ablation_cache_policy(once, benchmark):
             row = [profile.name]
             for technique in ("reply", "request", "gratuitous", "reactive"):
                 config = ScenarioConfig(victim_profile=profile, **FAST)
-                result = run_effectiveness(None, technique, config=config)
+                result = api.run(
+                    "effectiveness", config, scheme=None, technique=technique
+                )
                 # Score the *victim's* cache only — the Linux-profile
                 # gateway is poisoned in every run, which is the point of
                 # varying the victim profile in isolation.
@@ -67,11 +65,12 @@ def test_ablation_probe_timeout(once, benchmark):
     def run():
         out = []
         for timeout in (0.1, 0.25, 0.5, 1.0):
-            result = run_detection_latency(
-                "hybrid",
+            result = api.run(
+                "detection-latency",
+                ScenarioConfig(**FAST),
+                scheme="hybrid",
                 poison_rate=1.0,
-                config=ScenarioConfig(**FAST),
-                probe_timeout=timeout,
+                scheme_kwargs={"probe_timeout": timeout},
             )
             out.append((timeout, result.detection_latency))
         return out
@@ -124,10 +123,11 @@ def test_ablation_crypto_cost(once, benchmark):
     def run():
         out = []
         for factor in (0.25, 1.0, 4.0):
-            result = run_resolution_latency(
-                "s-arp",
+            result = api.run(
+                "resolution-latency",
+                scheme="s-arp",
                 n_resolutions=10,
-                cost_model=CryptoCostModel().scaled(factor),
+                scheme_kwargs={"cost_model": CryptoCostModel().scaled(factor)},
             )
             out.append((factor, result.mean_latency))
         return out

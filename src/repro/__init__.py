@@ -29,9 +29,11 @@ from repro.net import Ipv4Address, Ipv4Network, MacAddress
 from repro.l2.topology import Lan
 from repro.stack import Host, Router
 from repro.schemes import Scheme, make_scheme, all_profiles
+from repro.faults import FaultSpec, parse_fault_spec
 from repro.core import (
     Analyzer,
     ScenarioConfig,
+    run,
     figure_1_detection_latency,
     figure_2_overhead,
     figure_3_resolution_latency,
@@ -56,6 +58,9 @@ __all__ = [
     "all_profiles",
     "Analyzer",
     "ScenarioConfig",
+    "run",
+    "FaultSpec",
+    "parse_fault_spec",
     "table_1_criteria",
     "table_2_effectiveness",
     "table_3_false_positives",

@@ -110,11 +110,14 @@ def publish_metrics(campaign: CampaignResult) -> int:
     """Fold a campaign's per-trial results into the metrics registry.
 
     Emits per-cell detection-latency histograms
-    (``campaign_detection_latency_seconds{scheme,variant}``) and per-cell
-    alert totals (``campaign_alerts_total{scheme,variant,truth}``), which
-    a Prometheus dump (``repro campaign --metrics-out``) turns into the
-    audit-trail numbers next to the aggregate table.  Returns the number
-    of observations published.
+    (``campaign_detection_latency_seconds{scheme,variant}``), per-cell
+    alert totals (``campaign_alerts_total{scheme,variant,truth}``), and
+    per-(scheme, fault-spec) trial outcomes
+    (``campaign_outcomes_total{scheme,faults,outcome}``) — the
+    numerators/denominators of each scheme's detection rate under a
+    given impairment level.  A Prometheus dump (``repro campaign
+    --metrics-out``) turns these into the audit-trail numbers next to
+    the aggregate table.  Returns the number of observations published.
     """
     from repro.obs.registry import REGISTRY
 
@@ -127,6 +130,12 @@ def publish_metrics(campaign: CampaignResult) -> int:
         "campaign_alerts_total",
         "Alerts per campaign cell, split into true/false positives",
         labels=("scheme", "variant", "truth"),
+    )
+    outcomes = REGISTRY.counter(
+        "campaign_outcomes_total",
+        "Campaign trial outcomes per scheme and fault spec "
+        "(detection rate under impairment = detected / (detected + missed))",
+        labels=("scheme", "faults", "outcome"),
     )
     published = 0
     for task, payload in campaign.completed_in_order():
@@ -142,6 +151,20 @@ def publish_metrics(campaign: CampaignResult) -> int:
                 alerts.labels(scheme=scheme, variant=variant, truth=truth).inc(
                     int(count)
                 )
+                published += 1
+        detected = getattr(result, "detected", None)
+        if detected is not None:
+            fault_label = str(task.variant.get("faults") or "none")
+            outcomes.labels(
+                scheme=scheme,
+                faults=fault_label,
+                outcome="detected" if detected else "missed",
+            ).inc()
+            published += 1
+            if getattr(result, "prevented", False):
+                outcomes.labels(
+                    scheme=scheme, faults=fault_label, outcome="prevented"
+                ).inc()
                 published += 1
     return published
 

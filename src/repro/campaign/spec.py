@@ -23,17 +23,10 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.experiment import (
-    ScenarioConfig,
-    SerializableResult,
-    run_detection_latency,
-    run_effectiveness,
-    run_false_positives,
-    run_footprint,
-    run_overhead,
-    run_resolution_latency,
-)
-from repro.errors import CampaignError
+from repro.core import api
+from repro.core.experiment import ScenarioConfig, SerializableResult
+from repro.errors import CampaignError, FaultError
+from repro.faults import parse_fault_spec
 from repro.schemes.registry import SCHEME_FACTORIES, validate_scheme_spec
 
 __all__ = [
@@ -134,6 +127,12 @@ class CampaignSpec:
     root_seed: int = 7
     scenario: Mapping[str, object] = field(default_factory=dict)
     name: str = ""
+    #: Fault-injection sweep axis: each entry is a compact
+    #: ``repro.faults`` spec string (or ``None`` for a clean LAN) and
+    #: multiplies the grid like a scheme does.  The spec lands in each
+    #: task's variant under the ``"faults"`` key, so cells, derived
+    #: seeds, and cache keys all distinguish fault levels automatically.
+    faults: Tuple[Optional[str], ...] = (None,)
 
     def __post_init__(self) -> None:
         kind = EXPERIMENTS.get(self.experiment)
@@ -159,12 +158,44 @@ class CampaignSpec:
                     "None (baseline) is not allowed"
                 )
         for variant in self.variants:
-            bad = set(variant) - set(kind.variant_keys)
+            # "faults" is a universal variant key (any experiment kind
+            # accepts it); everything else must be kind-specific.
+            bad = set(variant) - set(kind.variant_keys) - {"faults"}
             if bad:
                 raise CampaignError(
                     f"variant keys {sorted(bad)} not understood by "
-                    f"{self.experiment!r}; allowed: {sorted(kind.variant_keys)}"
+                    f"{self.experiment!r}; allowed: "
+                    f"{sorted(kind.variant_keys)} (+ 'faults')"
                 )
+        if not self.faults:
+            raise CampaignError(
+                "faults must be non-empty; use (None,) for a clean LAN"
+            )
+        for fault in self.faults:
+            try:
+                parse_fault_spec(fault)
+            except FaultError as exc:
+                raise CampaignError(f"invalid fault spec {fault!r}: {exc}") from None
+        has_variant_faults = any("faults" in v for v in self.variants)
+        sweeping_faults = tuple(self.faults) != (None,)
+        if has_variant_faults:
+            if sweeping_faults:
+                raise CampaignError(
+                    "give faults either as the faults= sweep axis or "
+                    "inside variants, not both"
+                )
+            for variant in self.variants:
+                try:
+                    parse_fault_spec(variant.get("faults"))
+                except FaultError as exc:
+                    raise CampaignError(
+                        f"invalid variant fault spec: {exc}"
+                    ) from None
+        if "fault_spec" in self.scenario and (sweeping_faults or has_variant_faults):
+            raise CampaignError(
+                "scenario already pins fault_spec; a faults sweep would "
+                "silently override it — drop one of the two"
+            )
         # Validate the scenario overrides eagerly: a typo should fail at
         # spec construction, not inside a worker process.
         ScenarioConfig.from_dict(dict(self.scenario))
@@ -181,26 +212,32 @@ class CampaignSpec:
         out: List[CampaignTask] = []
         scenario = dict(self.scenario)
         for scheme in self.schemes:
-            for variant in self.effective_variants():
-                for trial in range(self.seeds):
-                    seed = derive_seed(
-                        self.root_seed,
-                        self.experiment,
-                        scheme or "none",
-                        _canonical_json(dict(variant)),
-                        _canonical_json(scenario),
-                        trial,
-                    )
-                    out.append(
-                        CampaignTask(
-                            experiment=self.experiment,
-                            scheme=scheme,
-                            variant=dict(variant),
-                            scenario=scenario,
-                            trial=trial,
-                            seed=seed,
+            for fault in self.faults:
+                for variant in self.effective_variants():
+                    cell_variant = dict(variant)
+                    if fault is not None:
+                        # The fault spec rides in the variant so cells,
+                        # content-derived seeds, and cache keys all see it.
+                        cell_variant["faults"] = fault
+                    for trial in range(self.seeds):
+                        seed = derive_seed(
+                            self.root_seed,
+                            self.experiment,
+                            scheme or "none",
+                            _canonical_json(cell_variant),
+                            _canonical_json(scenario),
+                            trial,
                         )
-                    )
+                        out.append(
+                            CampaignTask(
+                                experiment=self.experiment,
+                                scheme=scheme,
+                                variant=cell_variant,
+                                scenario=scenario,
+                                trial=trial,
+                                seed=seed,
+                            )
+                        )
         return out
 
     def to_dict(self) -> Dict[str, object]:
@@ -212,6 +249,7 @@ class CampaignSpec:
             "root_seed": self.root_seed,
             "scenario": dict(self.scenario),
             "name": self.name,
+            "faults": list(self.faults),
         }
 
     @classmethod
@@ -224,60 +262,107 @@ class CampaignSpec:
             payload["schemes"] = tuple(payload["schemes"])
         if "variants" in payload:
             payload["variants"] = tuple(dict(v) for v in payload["variants"])
+        if "faults" in payload:
+            payload["faults"] = tuple(payload["faults"])
         return cls(**payload)
 
 
 # ======================================================================
-# Experiment kinds: how one task maps onto a run_* call
+# Experiment kinds: how one task maps onto an api.run call
 # ======================================================================
-def _scenario_config(task: CampaignTask, **extra: object) -> ScenarioConfig:
-    payload = dict(task.scenario)
+def _scenario_config(
+    task: CampaignTask,
+    defaults: Optional[Mapping[str, object]] = None,
+    **extra: object,
+) -> ScenarioConfig:
+    """Task scenario -> config; ``defaults`` yield to the task's scenario.
+
+    A task variant's ``"faults"`` entry becomes the config's
+    ``fault_spec`` (verbatim), which is how the campaign fault sweep
+    reaches the scenario builder.
+    """
+    payload = dict(defaults or {})
+    payload.update(task.scenario)
     payload.update(extra)
     payload["seed"] = task.seed
+    fault = task.variant.get("faults")
+    if fault is not None:
+        payload["fault_spec"] = str(fault)
     return ScenarioConfig.from_dict(payload)
 
 
+#: Scenario defaults of the historical no-attack measurements
+#: (overhead / resolution-latency / footprint built their own config
+#: with a Linux victim); an explicit scenario override still wins.
+_QUIET_DEFAULTS = {"victim_profile": "linux"}
+
+
 def _execute_effectiveness(task: CampaignTask) -> SerializableResult:
-    technique = str(task.variant.get("technique", "reply"))
-    return run_effectiveness(task.scheme, technique, config=_scenario_config(task))
+    return api.run(
+        "effectiveness",
+        _scenario_config(task),
+        scheme=task.scheme,
+        technique=str(task.variant.get("technique", "reply")),
+    )
 
 
 def _execute_false_positives(task: CampaignTask) -> SerializableResult:
-    duration = float(task.variant.get("duration", 600.0))
-    config = _scenario_config(task, with_dhcp=True)
-    return run_false_positives(task.scheme, duration=duration, config=config)
+    return api.run(
+        "false-positives",
+        _scenario_config(task, with_dhcp=True),
+        scheme=task.scheme,
+        duration=float(task.variant.get("duration", 600.0)),
+    )
 
 
 def _execute_detection_latency(task: CampaignTask) -> SerializableResult:
-    rate = float(task.variant.get("poison_rate", 1.0))
-    return run_detection_latency(
-        task.scheme, poison_rate=rate, config=_scenario_config(task)
+    return api.run(
+        "detection-latency",
+        _scenario_config(task),
+        scheme=task.scheme,
+        poison_rate=float(task.variant.get("poison_rate", 1.0)),
     )
 
 
 def _execute_overhead(task: CampaignTask) -> SerializableResult:
-    return run_overhead(
-        task.scheme,
+    return api.run(
+        "overhead",
+        _scenario_config(task, defaults=_QUIET_DEFAULTS),
+        scheme=task.scheme,
         n_hosts=int(task.variant.get("n_hosts", 8)),
         resolutions_per_host=int(task.variant.get("resolutions_per_host", 4)),
-        seed=task.seed,
     )
 
 
 def _execute_resolution_latency(task: CampaignTask) -> SerializableResult:
-    return run_resolution_latency(
-        task.scheme,
+    return api.run(
+        "resolution-latency",
+        # Historical shape: a small 4-host LAN unless the scenario says more.
+        _scenario_config(task, defaults={**_QUIET_DEFAULTS, "n_hosts": 4}),
+        scheme=task.scheme,
         n_resolutions=int(task.variant.get("n_resolutions", 20)),
-        seed=task.seed,
+    )
+
+
+def _execute_interception_timeline(task: CampaignTask) -> SerializableResult:
+    return api.run(
+        "interception-timeline",
+        _scenario_config(task),
+        scheme=task.scheme,
+        duration=float(task.variant.get("duration", 120.0)),
+        attack_at=float(task.variant.get("attack_at", 30.0)),
+        ping_rate=float(task.variant.get("ping_rate", 2.0)),
+        bin_seconds=float(task.variant.get("bin_seconds", 10.0)),
     )
 
 
 def _execute_footprint(task: CampaignTask) -> SerializableResult:
-    return run_footprint(
-        task.scheme,
+    return api.run(
+        "footprint",
+        _scenario_config(task, defaults=_QUIET_DEFAULTS),
+        scheme=task.scheme,
         n_hosts=int(task.variant.get("n_hosts", 8)),
         settle=float(task.variant.get("settle", 30.0)),
-        seed=task.seed,
     )
 
 
@@ -345,6 +430,13 @@ EXPERIMENTS: Dict[str, ExperimentKind] = {
             metrics=("mean_latency", "max_latency"),
             variant_keys=("n_resolutions",),
             default_variants=({"n_resolutions": 20},),
+        ),
+        ExperimentKind(
+            name="interception-timeline",
+            execute=_execute_interception_timeline,
+            metrics=("peak_ratio", "mean_ratio"),
+            variant_keys=("duration", "attack_at", "ping_rate", "bin_seconds"),
+            default_variants=({"duration": 120.0},),
         ),
         ExperimentKind(
             name="footprint",

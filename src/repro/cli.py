@@ -32,8 +32,10 @@ import sys
 from typing import Callable, Dict, Optional
 
 from repro._version import __version__
-from repro.core import report
-from repro.core.experiment import ScenarioConfig, run_effectiveness
+from repro.core import api, report
+from repro.core.experiment import ScenarioConfig
+from repro.errors import FaultError
+from repro.faults import parse_fault_spec
 from repro.schemes.registry import SCHEME_FACTORIES, all_profiles, validate_scheme_spec
 
 __all__ = ["main", "build_parser"]
@@ -47,6 +49,15 @@ def _scheme_spec(value: str) -> str:
             "(join with '+' to stack, e.g. dai+arpwatch)"
         )
     return value
+
+
+def _fault_spec(value: str) -> Optional[str]:
+    """argparse type for ``--faults``: a compact impairment spec or 'none'."""
+    try:
+        spec = parse_fault_spec(value)
+    except FaultError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value if spec is not None else None
 
 
 _TABLES: Dict[int, Callable[[], "report.Artifact"]] = {
@@ -95,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--duration", type=float, default=30.0)
+    demo.add_argument(
+        "--faults", default=None, type=_fault_spec, metavar="SPEC",
+        help="link/host impairments, e.g. loss=0.05,jitter=2ms "
+             "(default: clean LAN)",
+    )
 
     from repro.campaign.spec import EXPERIMENTS
 
@@ -137,6 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="result cache directory (default: .repro_cache)")
     camp.add_argument("--no-cache", action="store_true",
                       help="always recompute; do not read or write the cache")
+    camp.add_argument(
+        "--faults", action="append", default=None, type=_fault_spec,
+        metavar="SPEC",
+        help="add one fault level to the sweep grid (repeatable); each "
+             "SPEC is a compact impairment spec like loss=0.05,jitter=2ms, "
+             "or 'none' for the clean-LAN level — fault specs contain "
+             "commas, hence one flag per level",
+    )
     camp.add_argument("--csv", action="store_true", help="emit CSV")
     camp.add_argument(
         "--metrics-out", default=None, metavar="PATH",
@@ -160,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--hosts", type=int, default=4)
         p.add_argument("--duration", type=float, default=12.0,
                        help="attack duration in simulated seconds")
+        p.add_argument(
+            "--faults", default=None, type=_fault_spec, metavar="SPEC",
+            help="link/host impairments, e.g. loss=0.05,jitter=2ms "
+                 "(default: clean LAN)",
+        )
         p.add_argument("--out", default=None, metavar="PATH",
                        help="output file (default: stdout)")
 
@@ -301,6 +330,7 @@ def _cmd_campaign(args, out) -> int:
         seeds=args.seeds,
         root_seed=args.root_seed,
         scenario=scenario,
+        faults=tuple(args.faults) if args.faults else (None,),
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     campaign = run_campaign(
@@ -359,6 +389,7 @@ def _obs_scenario(args) -> ScenarioConfig:
         attack_duration=args.duration,
         warmup=3.0,
         cooldown=2.0,
+        fault_spec=getattr(args, "faults", None),
     )
 
 
@@ -384,8 +415,11 @@ def _cmd_trace(args, out) -> int:
     TRACER.reset()
     TRACER.enable()
     try:
-        result = run_effectiveness(
-            args.scheme, args.technique, config=_obs_scenario(args)
+        result = api.run(
+            "effectiveness",
+            _obs_scenario(args),
+            scheme=args.scheme,
+            technique=args.technique,
         )
     finally:
         TRACER.disable()
@@ -421,7 +455,12 @@ def _cmd_metrics(args, out) -> int:
 
     from repro.obs import REGISTRY, to_prometheus
 
-    run_effectiveness(args.scheme, args.technique, config=_obs_scenario(args))
+    api.run(
+        "effectiveness",
+        _obs_scenario(args),
+        scheme=args.scheme,
+        technique=args.technique,
+    )
     snapshot = REGISTRY.snapshot()
     if args.format == "prometheus":
         text = to_prometheus(snapshot)
@@ -491,8 +530,12 @@ def _cmd_demo(args, out) -> int:
 
 
 def _demo_mitm(args, out) -> int:
-    config = ScenarioConfig(seed=args.seed, attack_duration=args.duration)
-    result = run_effectiveness(args.scheme, "reply", config=config)
+    config = ScenarioConfig(
+        seed=args.seed, attack_duration=args.duration, fault_spec=args.faults
+    )
+    result = api.run(
+        "effectiveness", config, scheme=args.scheme, technique="reply"
+    )
     out.write(
         f"scheme={result.scheme} technique=reply outcome={result.outcome}\n"
         f"victim poisoned for {result.victim_poisoned_seconds:.1f}s; "

@@ -11,11 +11,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.attacks.arp_poison import POISON_TECHNIQUES
-from repro.core.experiment import (
-    EffectivenessResult,
-    ScenarioConfig,
-    run_effectiveness,
-)
+from repro.core import api
+from repro.core.experiment import EffectivenessResult, ScenarioConfig
 from repro.schemes.registry import SCHEME_FACTORIES
 
 __all__ = ["SchemeAnalysis", "Analyzer"]
@@ -82,7 +79,12 @@ class Analyzer:
             analysis = SchemeAnalysis(scheme=label)
             for technique in self.techniques:
                 analysis.results.append(
-                    run_effectiveness(key, technique, config=self.config)
+                    api.run(
+                        "effectiveness",
+                        self.config,
+                        scheme=key,
+                        technique=technique,
+                    )
                 )
             out[label] = analysis
         return out

@@ -8,7 +8,8 @@ paper's measurements on it.  Everything is seeded and deterministic.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields
+import warnings
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.attacks.arp_poison import POISON_TECHNIQUES
@@ -21,7 +22,8 @@ from repro.core.metrics import (
     score_alerts,
     was_ever_poisoned,
 )
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, FaultError
+from repro.faults import apply_faults, parse_fault_spec
 from repro.l2.topology import Lan
 from repro.net.addresses import Ipv4Address
 from repro.schemes.base import Scheme
@@ -114,6 +116,18 @@ class ScenarioConfig:
     warmup: float = 5.0
     attack_duration: float = 30.0
     cooldown: float = 5.0
+    #: Compact ``repro.faults`` impairment spec (``"loss=0.05,jitter=2ms"``),
+    #: carried verbatim — like ``scheme=`` stack specs — so cached campaign
+    #: cells stay byte-reproducible.  ``None``/``""`` means a clean LAN.
+    fault_spec: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # A typo'd spec should fail at config construction, not mid-run
+        # inside a campaign worker.
+        try:
+            parse_fault_spec(self.fault_spec)
+        except FaultError as exc:
+            raise ExperimentError(f"invalid fault_spec: {exc}") from None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form; OS profiles are stored by name."""
@@ -160,6 +174,10 @@ class Scenario:
             self.users.append(self.lan.add_host(f"user-{i}", profile=profile))
         self.victim = self.users[0]
         self.attacker = self.lan.add_host("mallory")
+        #: Live fault machinery, or ``None`` on a clean LAN.
+        self.fault_injector = apply_faults(
+            parse_fault_spec(config.fault_spec), self.lan
+        )
 
     @property
     def gateway(self) -> Host:
@@ -228,9 +246,9 @@ class EffectivenessResult(SerializableResult):
         return "detected" if self.detected else "missed"
 
 
-def run_effectiveness(
+def _run_effectiveness(
     scheme_key: Optional[str],
-    technique: str,
+    technique: str = "reply",
     config: Optional[ScenarioConfig] = None,
     **scheme_kwargs,
 ) -> EffectivenessResult:
@@ -310,7 +328,7 @@ class FalsePositiveResult(SerializableResult):
         return self.fp_alerts / (self.duration / 3600.0) if self.duration else 0.0
 
 
-def run_false_positives(
+def _run_false_positives(
     scheme_key: Optional[str],
     duration: float = 1800.0,
     config: Optional[ScenarioConfig] = None,
@@ -374,9 +392,9 @@ class LatencyResult(SerializableResult):
     detected: bool
 
 
-def run_detection_latency(
+def _run_detection_latency(
     scheme_key: str,
-    poison_rate: float,
+    poison_rate: float = 1.0,
     config: Optional[ScenarioConfig] = None,
     **scheme_kwargs,
 ) -> LatencyResult:
@@ -435,15 +453,43 @@ class OverheadResult(SerializableResult):
         return self.total_wire_bytes / self.resolutions if self.resolutions else 0.0
 
 
-def run_overhead(
+def _quiet_config(
+    config: Optional[ScenarioConfig],
+    seed: Optional[int],
+    n_hosts: Optional[int],
+    default_hosts: int,
+) -> ScenarioConfig:
+    """Config for the no-attack measurements (overhead/latency/footprint).
+
+    These historically built their own ``ScenarioConfig`` (Linux victim,
+    explicit ``seed``/``n_hosts``); a caller-supplied ``config`` now wins,
+    with explicitly passed ``seed``/``n_hosts`` still overriding it.
+    """
+    if config is None:
+        return ScenarioConfig(
+            seed=7 if seed is None else seed,
+            n_hosts=default_hosts if n_hosts is None else n_hosts,
+            victim_profile=LINUX,
+        )
+    overrides: Dict[str, object] = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if n_hosts is not None:
+        overrides["n_hosts"] = n_hosts
+    return replace(config, **overrides) if overrides else config
+
+
+def _run_overhead(
     scheme_key: Optional[str],
-    n_hosts: int = 16,
+    n_hosts: Optional[int] = None,
     resolutions_per_host: int = 4,
-    seed: int = 7,
+    seed: Optional[int] = None,
+    config: Optional[ScenarioConfig] = None,
     **scheme_kwargs,
 ) -> OverheadResult:
     """Measure wire cost of address resolution under a scheme (no attack)."""
-    config = ScenarioConfig(seed=seed, n_hosts=n_hosts, victim_profile=LINUX)
+    config = _quiet_config(config, seed, n_hosts, default_hosts=16)
+    n_hosts = config.n_hosts
     scenario = Scenario(config)
     scheme = _make(scheme_key, **scheme_kwargs)
     scenario.install(scheme)
@@ -503,14 +549,15 @@ class ResolutionLatencyResult(SerializableResult):
         return max(self.samples) if self.samples else 0.0
 
 
-def run_resolution_latency(
+def _run_resolution_latency(
     scheme_key: Optional[str],
     n_resolutions: int = 50,
-    seed: int = 7,
+    seed: Optional[int] = None,
+    config: Optional[ScenarioConfig] = None,
     **scheme_kwargs,
 ) -> ResolutionLatencyResult:
     """Measure ARP resolution latency under a scheme (cold cache each time)."""
-    config = ScenarioConfig(seed=seed, n_hosts=4, victim_profile=LINUX)
+    config = _quiet_config(config, seed, n_hosts=None, default_hosts=4)
     scenario = Scenario(config)
     scheme = _make(scheme_key, **scheme_kwargs)
     scenario.install(scheme)
@@ -551,7 +598,7 @@ class InterceptionTimeline(SerializableResult):
         return mean([r for _, r in self.bins])
 
 
-def run_interception_timeline(
+def _run_interception_timeline(
     scheme_key: Optional[str],
     config: Optional[ScenarioConfig] = None,
     duration: float = 120.0,
@@ -612,15 +659,17 @@ class FootprintResult(SerializableResult):
     switch_cam_entries: int
 
 
-def run_footprint(
+def _run_footprint(
     scheme_key: Optional[str],
-    n_hosts: int = 16,
+    n_hosts: Optional[int] = None,
     settle: float = 30.0,
-    seed: int = 7,
+    seed: Optional[int] = None,
+    config: Optional[ScenarioConfig] = None,
     **scheme_kwargs,
 ) -> FootprintResult:
     """How much state/chatter a scheme needs once the LAN is warm."""
-    config = ScenarioConfig(seed=seed, n_hosts=n_hosts, victim_profile=LINUX)
+    config = _quiet_config(config, seed, n_hosts, default_hosts=16)
+    n_hosts = config.n_hosts
     scenario = Scenario(config)
     scheme = _make(scheme_key, **scheme_kwargs)
     scenario.install(scheme)
@@ -665,3 +714,173 @@ def result_from_dict(data: Mapping[str, object]) -> SerializableResult:
             f"unknown result kind {kind!r}; known: {sorted(RESULT_TYPES)}"
         ) from None
     return cls.from_dict(data)
+
+
+# ======================================================================
+# Legacy entry points — thin deprecation shims over repro.core.api.run
+# ======================================================================
+#: Legacy function names that already warned this process (warn once each).
+_LEGACY_WARNED: set = set()
+
+
+def _warn_legacy(name: str, kind: str) -> None:
+    if name in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(name)
+    warnings.warn(
+        f"repro.core.experiment.{name}() is deprecated; use "
+        f"repro.core.api.run({kind!r}, ...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_effectiveness(
+    scheme_key: Optional[str],
+    technique: str,
+    config: Optional[ScenarioConfig] = None,
+    **scheme_kwargs,
+) -> EffectivenessResult:
+    """Deprecated: use ``repro.core.api.run("effectiveness", ...)``."""
+    _warn_legacy("run_effectiveness", "effectiveness")
+    from repro.core.api import run
+
+    return run(
+        "effectiveness",
+        config,
+        scheme=scheme_key,
+        scheme_kwargs=scheme_kwargs,
+        technique=technique,
+    )
+
+
+def run_false_positives(
+    scheme_key: Optional[str],
+    duration: float = 1800.0,
+    config: Optional[ScenarioConfig] = None,
+    join_rate: float = 1 / 60.0,
+    nic_swap_rate: float = 1 / 300.0,
+    reannounce_rate: float = 1 / 120.0,
+    max_dhcp_hosts: int = 6,
+    **scheme_kwargs,
+) -> FalsePositiveResult:
+    """Deprecated: use ``repro.core.api.run("false-positives", ...)``."""
+    _warn_legacy("run_false_positives", "false-positives")
+    from repro.core.api import run
+
+    return run(
+        "false-positives",
+        config,
+        scheme=scheme_key,
+        scheme_kwargs=scheme_kwargs,
+        duration=duration,
+        join_rate=join_rate,
+        nic_swap_rate=nic_swap_rate,
+        reannounce_rate=reannounce_rate,
+        max_dhcp_hosts=max_dhcp_hosts,
+    )
+
+
+def run_detection_latency(
+    scheme_key: str,
+    poison_rate: float,
+    config: Optional[ScenarioConfig] = None,
+    **scheme_kwargs,
+) -> LatencyResult:
+    """Deprecated: use ``repro.core.api.run("detection-latency", ...)``."""
+    _warn_legacy("run_detection_latency", "detection-latency")
+    from repro.core.api import run
+
+    return run(
+        "detection-latency",
+        config,
+        scheme=scheme_key,
+        scheme_kwargs=scheme_kwargs,
+        poison_rate=poison_rate,
+    )
+
+
+def run_overhead(
+    scheme_key: Optional[str],
+    n_hosts: int = 16,
+    resolutions_per_host: int = 4,
+    seed: int = 7,
+    **scheme_kwargs,
+) -> OverheadResult:
+    """Deprecated: use ``repro.core.api.run("overhead", ...)``."""
+    _warn_legacy("run_overhead", "overhead")
+    from repro.core.api import run
+
+    return run(
+        "overhead",
+        scheme=scheme_key,
+        scheme_kwargs=scheme_kwargs,
+        n_hosts=n_hosts,
+        resolutions_per_host=resolutions_per_host,
+        seed=seed,
+    )
+
+
+def run_resolution_latency(
+    scheme_key: Optional[str],
+    n_resolutions: int = 50,
+    seed: int = 7,
+    **scheme_kwargs,
+) -> ResolutionLatencyResult:
+    """Deprecated: use ``repro.core.api.run("resolution-latency", ...)``."""
+    _warn_legacy("run_resolution_latency", "resolution-latency")
+    from repro.core.api import run
+
+    return run(
+        "resolution-latency",
+        scheme=scheme_key,
+        scheme_kwargs=scheme_kwargs,
+        n_resolutions=n_resolutions,
+        seed=seed,
+    )
+
+
+def run_interception_timeline(
+    scheme_key: Optional[str],
+    config: Optional[ScenarioConfig] = None,
+    duration: float = 120.0,
+    attack_at: float = 30.0,
+    ping_rate: float = 2.0,
+    bin_seconds: float = 10.0,
+    **scheme_kwargs,
+) -> InterceptionTimeline:
+    """Deprecated: use ``repro.core.api.run("interception-timeline", ...)``."""
+    _warn_legacy("run_interception_timeline", "interception-timeline")
+    from repro.core.api import run
+
+    return run(
+        "interception-timeline",
+        config,
+        scheme=scheme_key,
+        scheme_kwargs=scheme_kwargs,
+        duration=duration,
+        attack_at=attack_at,
+        ping_rate=ping_rate,
+        bin_seconds=bin_seconds,
+    )
+
+
+def run_footprint(
+    scheme_key: Optional[str],
+    n_hosts: int = 16,
+    settle: float = 30.0,
+    seed: int = 7,
+    **scheme_kwargs,
+) -> FootprintResult:
+    """Deprecated: use ``repro.core.api.run("footprint", ...)``."""
+    _warn_legacy("run_footprint", "footprint")
+    from repro.core.api import run
+
+    return run(
+        "footprint",
+        scheme=scheme_key,
+        scheme_kwargs=scheme_kwargs,
+        n_hosts=n_hosts,
+        settle=settle,
+        seed=seed,
+    )

@@ -14,15 +14,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.tables import render_series, render_table, to_csv
 from repro.core.analyzer import Analyzer
 from repro.core.criteria import comparison_matrix, coverage_matrix
-from repro.core.experiment import (
-    ScenarioConfig,
-    run_detection_latency,
-    run_false_positives,
-    run_footprint,
-    run_interception_timeline,
-    run_overhead,
-    run_resolution_latency,
-)
+from repro.core import api
+from repro.core.experiment import ScenarioConfig
 from repro.schemes.registry import SCHEME_FACTORIES, all_profiles
 
 __all__ = [
@@ -117,7 +110,7 @@ def table_3_false_positives(
     header = ["Scheme", "FP alerts", "FP/hour", "info alerts", "churn events"]
     rows: List[List[object]] = []
     for key in keys:
-        result = run_false_positives(key, duration=duration)
+        result = api.run("false-positives", scheme=key, duration=duration)
         churn_total = sum(result.churn_events.values())
         rows.append(
             [
@@ -153,7 +146,7 @@ def table_4_footprint(
     for key in keys:
         states, msgs = [], []
         for n in host_counts:
-            result = run_footprint(key, n_hosts=n)
+            result = api.run("footprint", scheme=key, n_hosts=n)
             states.append(result.state_entries)
             msgs.append(result.scheme_messages)
         rows.append([key] + states + msgs)
@@ -178,7 +171,7 @@ def figure_1_detection_latency(
     series: Dict[str, List[Optional[float]]] = {key: [] for key in schemes}
     for rate in rates:
         for key in schemes:
-            result = run_detection_latency(key, poison_rate=rate)
+            result = api.run("detection-latency", scheme=key, poison_rate=rate)
             series[key].append(result.detection_latency)
     rendered = render_series(
         "Figure 1 — detection latency (s) vs poison rate (pps)",
@@ -208,7 +201,7 @@ def figure_2_overhead(
     series: Dict[str, List[Optional[float]]] = {label: [] for label in labels}
     for n in host_counts:
         for key, label in zip(schemes, labels):
-            result = run_overhead(key, n_hosts=n)
+            result = api.run("overhead", scheme=key, n_hosts=n)
             series[label].append(result.frames_per_resolution)
     rendered = render_series(
         "Figure 2 — resolution message overhead vs LAN size",
@@ -239,7 +232,9 @@ def figure_3_resolution_latency(
     rows: List[List[object]] = []
     plain_mean: Optional[float] = None
     for key in schemes:
-        result = run_resolution_latency(key, n_resolutions=n_resolutions)
+        result = api.run(
+            "resolution-latency", scheme=key, n_resolutions=n_resolutions
+        )
         mean_ms = result.mean_latency * 1e3
         if key is None:
             plain_mean = mean_ms
@@ -274,8 +269,11 @@ def figure_4_interception(
     timelines = {}
     xs: List[float] = []
     for key, label in zip(schemes, labels):
-        timeline = run_interception_timeline(
-            key, duration=duration, attack_at=attack_at
+        timeline = api.run(
+            "interception-timeline",
+            scheme=key,
+            duration=duration,
+            attack_at=attack_at,
         )
         timelines[label] = [ratio for _, ratio in timeline.bins]
         xs = [t for t, _ in timeline.bins]

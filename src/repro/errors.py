@@ -86,3 +86,7 @@ class CampaignError(ExperimentError):
 
 class ObsError(ReproError):
     """An observability primitive (metric, span, exporter) was misused."""
+
+
+class FaultError(ReproError):
+    """A fault-injection spec could not be parsed or is invalid."""

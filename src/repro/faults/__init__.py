@@ -1,0 +1,41 @@
+"""Deterministic, composable fault injection for the simulated LAN.
+
+The paper's scheme comparison assumes a clean network; this package
+stresses that assumption with seeded link/host impairments — frame
+loss, latency + jitter, duplication, reordering, byte corruption, link
+flaps and host cache churn — attached at L2 through the
+:mod:`repro.hooks` pipeline (zero-cost when idle).
+
+Split in two halves:
+
+* :mod:`repro.faults.spec` — :class:`FaultSpec`, pure data: parsed
+  from the compact ``loss=0.05,jitter=2ms,flap=victim@t3-5`` grammar,
+  JSON round-trippable, carried verbatim by ``ScenarioConfig`` and
+  campaign cells.
+* :mod:`repro.faults.inject` — :class:`FaultInjector`, the runtime:
+  installs per-link impairment hooks, flap schedules and churn
+  processes on a built :class:`~repro.l2.topology.Lan`.
+
+See ``docs/faults.md`` for the grammar, determinism guarantees and the
+degradation-metric reference.
+"""
+
+from repro.faults.inject import (
+    FaultInjector,
+    LinkImpairment,
+    apply_faults,
+    fault_events_counter,
+    fault_frames_counter,
+)
+from repro.faults.spec import FaultSpec, LinkFlap, parse_fault_spec
+
+__all__ = [
+    "FaultSpec",
+    "LinkFlap",
+    "parse_fault_spec",
+    "FaultInjector",
+    "LinkImpairment",
+    "apply_faults",
+    "fault_frames_counter",
+    "fault_events_counter",
+]

@@ -1,0 +1,299 @@
+"""Fault injection — the runtime half of ``repro.faults``.
+
+:class:`FaultInjector` turns a :class:`~repro.faults.spec.FaultSpec`
+into live machinery on a built :class:`~repro.l2.topology.Lan`:
+
+* a :class:`LinkImpairment` transform hook on every link's ``faults``
+  hook point (frame loss, latency, jitter, reordering, corruption,
+  duplication),
+* scheduled link flaps (both ports shut, switch CAM flushed via
+  :meth:`~repro.l2.switch.Switch.link_down`, ports restored at the
+  window's end),
+* a Poisson host-churn process flushing random hosts' dynamic ARP
+  entries.
+
+Determinism: every random draw comes from per-component
+:meth:`~repro.sim.simulator.Simulator.rng_stream` streams keyed by
+stable names (``faults/link/<a>|<b>``, ``faults/churn``), and each
+impairment draws in a fixed order with disabled dimensions drawing
+nothing — so the same seed and spec replay the exact same fault
+sequence regardless of which other dimensions are enabled.
+
+Degradation is observable through the metrics registry:
+``fault_frames_total{kind}`` counts per-frame impairments
+(``dropped``/``delayed``/``duplicated``/``reordered``/``corrupted``)
+and ``fault_events_total{kind}`` counts discrete events
+(``flap_down``/``flap_up``/``churn_flush``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import FaultError
+from repro.faults.spec import FaultSpec, LinkFlap
+from repro.hooks import TeardownStack
+from repro.obs.registry import REGISTRY
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.l2.device import Link, Port
+    from repro.l2.topology import Lan
+
+__all__ = [
+    "FaultInjector",
+    "LinkImpairment",
+    "fault_frames_counter",
+    "fault_events_counter",
+]
+
+#: Delivery plan entry: (extra delay seconds, frame payload).
+PlanEntry = Tuple[float, bytes]
+
+
+def fault_frames_counter():
+    """The ``fault_frames_total{kind}`` registry counter family."""
+    return REGISTRY.counter(
+        "fault_frames_total",
+        "Frames impaired by the fault-injection layer, by impairment kind",
+        labels=("kind",),
+    )
+
+
+def fault_events_counter():
+    """The ``fault_events_total{kind}`` registry counter family."""
+    return REGISTRY.counter(
+        "fault_events_total",
+        "Discrete fault events (link flaps, host churn), by kind",
+        labels=("kind",),
+    )
+
+
+class LinkImpairment:
+    """Per-link transform hook rewriting the frame delivery plan.
+
+    Installed on :attr:`Link.faults <repro.l2.device.Link.faults>`; the
+    value is a tuple of ``(extra_delay, payload)`` entries and the hook
+    returns the impaired plan (possibly empty — frame lost).  Draws
+    happen in a fixed order (loss, jitter, reorder, corrupt, dup) with
+    disabled dimensions drawing nothing, which keeps replay stable when
+    specs differ only in which dimensions are on.
+    """
+
+    __slots__ = ("spec", "rng", "_counts")
+
+    def __init__(self, spec: FaultSpec, rng, counts: Dict[str, object]) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._counts = counts
+
+    def __call__(self, plan, link, sender) -> Tuple[PlanEntry, ...]:
+        spec = self.spec
+        rng = self.rng
+        out: List[PlanEntry] = []
+        for extra, payload in plan:
+            if spec.loss and rng.random() < spec.loss:
+                self._counts["dropped"].inc()
+                continue
+            delay = extra
+            if spec.latency:
+                delay += spec.latency
+            if spec.jitter:
+                delay += rng.random() * spec.jitter
+            if delay != extra:
+                self._counts["delayed"].inc()
+            if spec.reorder and rng.random() < spec.reorder:
+                delay += spec.reorder_gap
+                self._counts["reordered"].inc()
+            if spec.corrupt and payload and rng.random() < spec.corrupt:
+                index = rng.randrange(len(payload))
+                bit = 1 << rng.randrange(8)
+                payload = (
+                    payload[:index]
+                    + bytes((payload[index] ^ bit,))
+                    + payload[index + 1 :]
+                )
+                self._counts["corrupted"].inc()
+            out.append((delay, payload))
+            if spec.dup and rng.random() < spec.dup:
+                out.append((delay, payload))
+                self._counts["duplicated"].inc()
+        return tuple(out)
+
+
+def _link_stream_name(link: "Link") -> str:
+    return f"faults/link/{link.a.name}|{link.b.name}"
+
+
+class FaultInjector:
+    """Installs a :class:`FaultSpec` onto a built LAN; reversible.
+
+    Construction does not touch the LAN — call :meth:`install` once the
+    topology is built (``Scenario`` does this automatically when its
+    config carries a ``fault_spec``).  Links added after ``install``
+    (e.g. by a churn workload joining hosts mid-run) are **not**
+    impaired; call :meth:`cover_new_links` to extend coverage.
+    """
+
+    def __init__(self, spec: FaultSpec, lan: "Lan") -> None:
+        self.spec = spec
+        self.lan = lan
+        self.sim = lan.sim
+        self.installed = False
+        self.links_covered = 0
+        self._teardowns = TeardownStack(owner="faults")
+        self._events: List[object] = []
+        self._downed_ports: List["Port"] = []
+        self._churn_rng = None
+        self._churn_event = None
+        self._churn_hosts: List[str] = []
+        counter = fault_frames_counter()
+        self._frame_counts = {
+            kind: counter.labels(kind=kind)
+            for kind in ("dropped", "delayed", "duplicated", "reordered", "corrupted")
+        }
+        events = fault_events_counter()
+        self._event_counts = {
+            kind: events.labels(kind=kind)
+            for kind in ("flap_down", "flap_up", "churn_flush")
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        if self.installed:
+            raise FaultError("fault injector already installed")
+        self.installed = True
+        if self.spec.needs_link_hook():
+            self.cover_new_links()
+        for flap in self.spec.flaps:
+            self._schedule_flap(flap)
+        if self.spec.churn:
+            self._churn_rng = self.sim.rng_stream("faults/churn")
+            self._churn_hosts = sorted(self.lan.hosts)
+            self._schedule_churn()
+        return self
+
+    def cover_new_links(self) -> int:
+        """Impair any LAN links not yet hooked; returns how many."""
+        if not self.spec.needs_link_hook():
+            return 0
+        added = 0
+        for link in self.lan.links[self.links_covered :]:
+            impairment = LinkImpairment(
+                self.spec,
+                self.sim.rng_stream(_link_stream_name(link)),
+                self._frame_counts,
+            )
+            self._teardowns.push(link.faults.add(impairment, owner="faults"))
+            added += 1
+        self.links_covered = len(self.lan.links)
+        return added
+
+    def uninstall(self) -> None:
+        """Remove hooks, cancel pending events, restore downed ports."""
+        for event in self._events:
+            event.cancel()
+        self._events.clear()
+        if self._churn_event is not None:
+            self._churn_event.cancel()
+            self._churn_event = None
+        for port in self._downed_ports:
+            port.no_shut()
+        self._downed_ports.clear()
+        self._teardowns.close()
+        self.installed = False
+        self.links_covered = 0
+
+    # ------------------------------------------------------------------
+    # Link flaps
+    # ------------------------------------------------------------------
+    def _schedule_flap(self, flap: LinkFlap) -> None:
+        link = self._resolve_flap_link(flap.target)
+        self._events.append(
+            self.sim.schedule_at(
+                flap.start, lambda: self._flap_down(link), name="faults.flap_down"
+            )
+        )
+        self._events.append(
+            self.sim.schedule_at(
+                flap.end, lambda: self._flap_up(link), name="faults.flap_up"
+            )
+        )
+
+    def _resolve_flap_link(self, target: str) -> "Link":
+        host = self.lan.hosts.get(target)
+        if host is not None:
+            link = host.nic.link
+            if link is None:
+                raise FaultError(f"flap: host {target!r} has no attached link")
+            return link
+        exact = [
+            link
+            for link in self.lan.links
+            if target in (link.a.name, link.b.name)
+        ]
+        if not exact:
+            # Forgiving suffix match ("eth0" for a one-host lab LAN).
+            exact = [
+                link
+                for link in self.lan.links
+                if any(p.name.endswith("." + target) for p in (link.a, link.b))
+            ]
+        if len(exact) == 1:
+            return exact[0]
+        if len(exact) > 1:
+            names = sorted({p.name for link in exact for p in (link.a, link.b)})
+            raise FaultError(
+                f"flap: target {target!r} is ambiguous; matching ports: {names}"
+            )
+        raise FaultError(
+            f"flap: unknown target {target!r}; known hosts: {sorted(self.lan.hosts)}"
+        )
+
+    def _flap_down(self, link: "Link") -> None:
+        for port in (link.a, link.b):
+            port.shut()
+            self._downed_ports.append(port)
+            link_down = getattr(port.device, "link_down", None)
+            if link_down is not None:
+                link_down(port.index)
+        self._event_counts["flap_down"].inc()
+
+    def _flap_up(self, link: "Link") -> None:
+        for port in (link.a, link.b):
+            port.no_shut()
+            if port in self._downed_ports:
+                self._downed_ports.remove(port)
+        self._event_counts["flap_up"].inc()
+
+    # ------------------------------------------------------------------
+    # Host churn
+    # ------------------------------------------------------------------
+    def _schedule_churn(self) -> None:
+        gap = self._churn_rng.expovariate(self.spec.churn)
+        self._churn_event = self.sim.schedule(
+            gap, self._churn_tick, name="faults.churn"
+        )
+
+    def _churn_tick(self) -> None:
+        name = self._churn_hosts[self._churn_rng.randrange(len(self._churn_hosts))]
+        host = self.lan.hosts.get(name)
+        cache = getattr(host, "arp_cache", None)
+        if cache is not None:
+            cache.flush_dynamic()
+            self._event_counts["churn_flush"].inc()
+        self._schedule_churn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector({self.spec.spec_string or 'idle'!s}, "
+            f"links={self.links_covered}, installed={self.installed})"
+        )
+
+
+def apply_faults(spec: Optional[FaultSpec], lan: "Lan") -> Optional[FaultInjector]:
+    """Install ``spec`` on ``lan`` when it impairs anything; else no-op."""
+    if spec is None or spec.is_idle:
+        return None
+    return FaultInjector(spec, lan).install()

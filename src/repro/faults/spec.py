@@ -1,0 +1,289 @@
+"""Fault specifications — the declarative half of ``repro.faults``.
+
+A :class:`FaultSpec` describes link/host impairments as plain data:
+probabilities for frame loss / duplication / reordering / corruption,
+added latency and jitter, link flap schedules and host cache churn.  It
+parses from a compact string (``loss=0.05,jitter=2ms,flap=eth0@t3-5``),
+round-trips through JSON, and is deliberately free of any simulation
+machinery — :mod:`repro.faults.inject` turns a spec into scheduled
+events and hook installations.
+
+The compact grammar, one comma-separated ``key=value`` list:
+
+``loss= dup= reorder= corrupt=``
+    Per-frame probabilities in ``[0, 1]``.
+``latency= jitter=``
+    Durations: a bare float is seconds; ``us``/``ms``/``s`` suffixes are
+    accepted (``2ms``, ``50us``, ``1.5s``).  ``latency`` adds a fixed
+    delay to every frame; ``jitter`` adds ``U(0, jitter)`` on top.
+``reorder_gap=``
+    Extra hold applied to frames selected by ``reorder`` (duration).
+``flap=TARGET@tSTART-END``
+    Takes the link attached to host/port ``TARGET`` down at simulated
+    time ``START`` and back up at ``END`` (seconds).  Repeatable.
+``churn=RATE``
+    Poisson rate (events/second) of host ARP-cache flushes across the
+    LAN.
+
+Canonicalisation: :attr:`FaultSpec.spec_string` renders keys in a fixed
+order with repr-stable floats, so equal specs produce equal strings —
+the property campaign cache keys rely on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, fields
+from typing import Dict, NamedTuple, Optional, Tuple, Union
+
+from repro.errors import FaultError
+
+__all__ = ["FaultSpec", "LinkFlap", "parse_fault_spec"]
+
+#: Duration-suffix multipliers, longest suffix first so ``us`` wins over ``s``.
+_DURATION_SUFFIXES = (("us", 1e-6), ("ms", 1e-3), ("s", 1.0))
+
+#: Spec keys that carry probabilities in [0, 1].
+_PROBABILITY_KEYS = ("loss", "dup", "reorder", "corrupt")
+
+#: Spec keys that carry durations (seconds, suffix grammar accepted).
+_DURATION_KEYS = ("latency", "jitter", "reorder_gap")
+
+
+class LinkFlap(NamedTuple):
+    """One scheduled down/up cycle of the link attached to ``target``."""
+
+    target: str
+    start: float
+    end: float
+
+    @property
+    def spec_string(self) -> str:
+        return f"flap={self.target}@t{_render_float(self.start)}-{_render_float(self.end)}"
+
+
+def _render_float(value: float) -> str:
+    """Compact, repr-stable float rendering (``3.0`` -> ``3``)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def parse_duration(text: str, key: str = "duration") -> float:
+    """Parse ``2ms``/``50us``/``1.5s``/bare-seconds into float seconds."""
+    raw = text.strip()
+    for suffix, scale in _DURATION_SUFFIXES:
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            break
+    else:
+        scale = 1.0
+    try:
+        value = float(raw)
+    except ValueError:
+        raise FaultError(f"{key}: cannot parse duration {text!r}") from None
+    return value * scale
+
+
+def _parse_flap(text: str) -> LinkFlap:
+    """Parse ``TARGET@tSTART-END`` into a :class:`LinkFlap`."""
+    target, sep, window = text.partition("@")
+    if not sep or not target:
+        raise FaultError(f"flap: expected TARGET@tSTART-END, got {text!r}")
+    if not window.startswith("t"):
+        raise FaultError(f"flap: window must start with 't', got {text!r}")
+    # Split on "-" unless it is an exponent sign ("1e-06-2.5" -> two times).
+    parts = re.split(r"(?<![eE])-", window[1:])
+    if len(parts) != 2:
+        raise FaultError(f"flap: expected tSTART-END window, got {text!r}")
+    try:
+        start = float(parts[0])
+        end = float(parts[1])
+    except ValueError:
+        raise FaultError(f"flap: cannot parse window in {text!r}") from None
+    return LinkFlap(target=target, start=start, end=end)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic link/host impairment model, as plain data.
+
+    All randomness derives from the simulation's seeded RNG streams when
+    the spec is installed — the spec itself is pure configuration.
+    """
+
+    #: Per-frame drop probability.
+    loss: float = 0.0
+    #: Fixed extra one-way delay added to every frame, seconds.
+    latency: float = 0.0
+    #: Uniform random extra delay in ``[0, jitter]`` seconds per frame.
+    jitter: float = 0.0
+    #: Per-frame duplication probability (the copy follows immediately).
+    dup: float = 0.0
+    #: Probability a frame is held back so later frames overtake it.
+    reorder: float = 0.0
+    #: Hold duration applied to reordered frames, seconds.
+    reorder_gap: float = 1e-3
+    #: Per-frame probability of a single flipped byte.
+    corrupt: float = 0.0
+    #: Poisson rate (events/second) of random host ARP-cache flushes.
+    churn: float = 0.0
+    #: Scheduled link down/up windows.
+    flaps: Tuple[LinkFlap, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for key in _PROBABILITY_KEYS:
+            value = getattr(self, key)
+            if not 0.0 <= value <= 1.0:
+                raise FaultError(f"{key}: probability must be in [0, 1], got {value}")
+        for key in _DURATION_KEYS:
+            value = getattr(self, key)
+            if value < 0:
+                raise FaultError(f"{key}: duration must be >= 0, got {value}")
+        if self.churn < 0:
+            raise FaultError(f"churn: rate must be >= 0, got {self.churn}")
+        if self.reorder and self.reorder_gap <= 0:
+            raise FaultError("reorder_gap: must be > 0 when reorder is set")
+        flaps = tuple(
+            flap if isinstance(flap, LinkFlap) else LinkFlap(*flap)
+            for flap in self.flaps
+        )
+        object.__setattr__(self, "flaps", flaps)
+        for flap in flaps:
+            if flap.start < 0:
+                raise FaultError(f"flap: start must be >= 0, got {flap.start}")
+            if flap.end <= flap.start:
+                raise FaultError(
+                    f"flap: window must end after it starts, got {flap.spec_string}"
+                )
+
+    # ------------------------------------------------------------------
+    # Parsing / rendering
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the compact comma-separated grammar into a spec."""
+        values: Dict[str, float] = {}
+        flaps = []
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not sep or not value:
+                raise FaultError(f"expected key=value, got {item!r}")
+            if key == "flap":
+                flaps.append(_parse_flap(value))
+                continue
+            if key in values:
+                raise FaultError(f"duplicate key {key!r} in fault spec")
+            if key in _PROBABILITY_KEYS or key == "churn":
+                try:
+                    values[key] = float(value)
+                except ValueError:
+                    raise FaultError(f"{key}: cannot parse {value!r}") from None
+            elif key in _DURATION_KEYS:
+                values[key] = parse_duration(value, key)
+            else:
+                known = (*_PROBABILITY_KEYS, *_DURATION_KEYS, "churn", "flap")
+                raise FaultError(
+                    f"unknown fault key {key!r}; known keys: {', '.join(known)}"
+                )
+        return cls(flaps=tuple(flaps), **values)
+
+    @property
+    def spec_string(self) -> str:
+        """Canonical compact rendering (fixed key order, stable floats)."""
+        parts = []
+        for f in fields(self):
+            if f.name == "flaps":
+                continue
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            parts.append(f"{f.name}={_render_float(value)}")
+        parts.extend(flap.spec_string for flap in self.flaps)
+        return ",".join(parts)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when the spec impairs nothing (equivalent to no spec)."""
+        return not self.spec_string
+
+    def needs_link_hook(self) -> bool:
+        """Does this spec require the per-frame link impairment hook?"""
+        return bool(
+            self.loss
+            or self.latency
+            or self.jitter
+            or self.dup
+            or self.reorder
+            or self.corrupt
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {}
+        for f in fields(self):
+            if f.name == "flaps":
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                payload[f.name] = value
+        if self.flaps:
+            payload["flaps"] = [
+                {"target": flap.target, "start": flap.start, "end": flap.end}
+                for flap in self.flaps
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        if not isinstance(payload, dict):
+            raise FaultError(f"fault spec payload must be a dict, got {payload!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultError(f"unknown fault spec fields: {sorted(unknown)}")
+        kwargs = dict(payload)
+        raw_flaps = kwargs.pop("flaps", [])
+        try:
+            flaps = tuple(
+                LinkFlap(
+                    target=str(item["target"]),
+                    start=float(item["start"]),
+                    end=float(item["end"]),
+                )
+                for item in raw_flaps
+            )
+        except (KeyError, TypeError, ValueError):
+            raise FaultError(f"malformed flap entries: {raw_flaps!r}") from None
+        return cls(flaps=flaps, **kwargs)
+
+    def __str__(self) -> str:
+        return self.spec_string or "none"
+
+
+def parse_fault_spec(
+    value: Union[str, FaultSpec, None],
+) -> Optional[FaultSpec]:
+    """Normalise user input into an optional :class:`FaultSpec`.
+
+    ``None``, ``""`` and ``"none"`` mean no faults; a :class:`FaultSpec`
+    passes through; anything else is parsed with the compact grammar.
+    """
+    if value is None:
+        return None
+    if isinstance(value, FaultSpec):
+        return None if value.is_idle else value
+    if not isinstance(value, str):
+        raise FaultError(f"fault spec must be a string, got {type(value).__name__}")
+    text = value.strip()
+    if not text or text.lower() == "none":
+        return None
+    spec = FaultSpec.parse(text)
+    return None if spec.is_idle else spec

@@ -134,6 +134,21 @@ class CamTable:
     def flush(self) -> None:
         self._entries.clear()
 
+    def flush_port(self, port_index: int) -> int:
+        """Forget every dynamic station on ``port_index`` (link-down).
+
+        Static entries survive — port security re-validates them itself.
+        Returns how many entries were dropped.
+        """
+        dead = [
+            mac
+            for mac, entry in self._entries.items()
+            if entry.port_index == port_index and not entry.static
+        ]
+        for mac in dead:
+            del self._entries[mac]
+        return len(dead)
+
     def utilization(self) -> float:
         """Fill fraction in [0, 1] — MAC-flood detectors watch this."""
         return len(self._entries) / self.capacity

@@ -13,6 +13,7 @@ from functools import partial
 from typing import List, Optional
 
 from repro.errors import PortError, TopologyError
+from repro.hooks import HookPoint
 from repro.sim.simulator import Simulator
 from repro.sim.trace import Direction, TraceRecorder
 
@@ -106,6 +107,11 @@ class Link:
         b.peer = a
         self.frames_carried = 0
         self.bytes_carried = 0
+        #: Fault-injection surface (``repro.faults``): transform hooks
+        #: rewrite the delivery plan ``((extra_delay, payload), ...)``.
+        self.faults: HookPoint = HookPoint(
+            "link.faults", node=f"{a.name}|{b.name}", fallback_label="faults"
+        )
 
     def other_end(self, port: Port) -> Port:
         if port is self.a:
@@ -125,6 +131,17 @@ class Link:
             self.recorder.record(
                 self.sim.now, sender.name, Direction.TX, data
             )
+        if self.faults.hooks:
+            # Impairment hooks rewrite the delivery plan: each entry is
+            # (extra_delay, payload); an empty plan means the frame is lost.
+            plan = self.faults.transform(((0.0, data),), self, sender)
+            for extra, payload in plan:
+                self.sim.schedule(
+                    self.latency + len(payload) * self._seconds_per_byte + extra,
+                    partial(receiver.deliver, payload),
+                    name="link.carry",
+                )
+            return
         delay = self.latency + len(data) * self._seconds_per_byte
         # partial() instead of a lambda: the callback fires in C without an
         # intermediate Python frame, and this is one event per frame hop.

@@ -337,6 +337,19 @@ class Switch(Device):
         if ingress.index in self._mirror_sources:
             self.ports[self._mirror_target].transmit(data)
 
+    def link_down(self, port_index: int) -> int:
+        """React to a link-down on ``port_index`` (cable pull, flap).
+
+        Real switches forget dynamically learned stations the moment the
+        link drops; without this, a flapped host would stay reachable in
+        the CAM and mask the outage.  Returns the number of CAM entries
+        (across the plain table and every VLAN table) that were flushed.
+        """
+        flushed = self.cam.flush_port(port_index)
+        for cam in self._vlan_cams.values():
+            flushed += cam.flush_port(port_index)
+        return flushed
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

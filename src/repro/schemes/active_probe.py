@@ -62,10 +62,11 @@ class ActiveProbe(MonitorScheme):
         reference="active verification as in ArpON / XArp active modules",
     )
 
-    def __init__(self, probe_timeout: float = 0.5) -> None:
+    def __init__(self, probe_timeout: float = 0.5, probe_retries: int = 2) -> None:
         super().__init__()
         self.db = BindingDatabase()
         self.probe_timeout = probe_timeout
+        self.probe_retries = probe_retries
         self.probes_sent = 0
         self.confirmed_attacks = 0
         self.benign_rebinds = 0
@@ -90,21 +91,25 @@ class ActiveProbe(MonitorScheme):
         self, ip: Ipv4Address, old_mac: MacAddress, new_mac: MacAddress, now: float
     ) -> None:
         self._pending[ip] = _ProbeState(old_mac=old_mac, new_mac=new_mac, started=now)
-        self.probes_sent += 1
-        self.messages_sent += 1
-        self.monitor.ping_via(
-            dst_ip=ip,
-            dst_mac=old_mac,
+        self.probe_previous_owner(
+            ip,
+            old_mac,
+            timeout=self.probe_timeout,
+            retries=self.probe_retries,
             on_reply=lambda src, rtt: self._on_probe_reply(ip),
-        )
-        self.monitor.sim.schedule(
-            self.probe_timeout, lambda: self._conclude(ip), name="active-probe"
+            answered=lambda: self._answered(ip),
+            on_conclude=lambda: self._conclude(ip),
+            name="active-probe",
         )
 
     def _on_probe_reply(self, ip: Ipv4Address) -> None:
         pending = self._pending.get(ip)
         if pending is not None:
             pending.answered = True
+
+    def _answered(self, ip: Ipv4Address) -> bool:
+        pending = self._pending.get(ip)
+        return pending is None or pending.answered
 
     def _conclude(self, ip: Ipv4Address) -> None:
         pending = self._pending.pop(ip, None)

@@ -73,6 +73,7 @@ class HybridDetector(MonitorScheme):
     def __init__(
         self,
         probe_timeout: float = 0.5,
+        probe_retries: int = 0,
         dhcp_grace: float = 30.0,
         storm_threshold: int = 12,
         storm_window: float = 10.0,
@@ -82,6 +83,7 @@ class HybridDetector(MonitorScheme):
         super().__init__()
         self.db = BindingDatabase()
         self.probe_timeout = probe_timeout
+        self.probe_retries = probe_retries
         self.dhcp_grace = dhcp_grace
         self.storm_threshold = storm_threshold
         self.storm_window = storm_window
@@ -209,21 +211,25 @@ class HybridDetector(MonitorScheme):
         self, ip: Ipv4Address, old_mac: MacAddress, new_mac: MacAddress, now: float
     ) -> None:
         self._pending[ip] = _Verification(old_mac=old_mac, new_mac=new_mac, started=now)
-        self.probes_sent += 1
-        self.messages_sent += 1
-        self.monitor.ping_via(
-            dst_ip=ip,
-            dst_mac=old_mac,
+        self.probe_previous_owner(
+            ip,
+            old_mac,
+            timeout=self.probe_timeout,
+            retries=self.probe_retries,
             on_reply=lambda src, rtt: self._on_probe_reply(ip),
-        )
-        self.monitor.sim.schedule(
-            self.probe_timeout, lambda: self._conclude(ip), name="hybrid.verify"
+            answered=lambda: self._answered(ip),
+            on_conclude=lambda: self._conclude(ip),
+            name="hybrid.verify",
         )
 
     def _on_probe_reply(self, ip: Ipv4Address) -> None:
         pending = self._pending.get(ip)
         if pending is not None:
             pending.answered = True
+
+    def _answered(self, ip: Ipv4Address) -> bool:
+        pending = self._pending.get(ip)
+        return pending is None or pending.answered
 
     def _conclude(self, ip: Ipv4Address) -> None:
         pending = self._pending.pop(ip, None)

@@ -10,7 +10,7 @@ arpwatch-style detectors keep.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import CodecError, SchemeError
 from repro.l2.topology import Lan
@@ -28,7 +28,24 @@ from repro.packets.udp import UdpDatagram
 from repro.schemes.base import Scheme
 from repro.stack.host import Host
 
-__all__ = ["MonitorScheme", "ObservedStation", "BindingDatabase"]
+__all__ = [
+    "MonitorScheme",
+    "ObservedStation",
+    "BindingDatabase",
+    "probe_retries_counter",
+]
+
+
+def probe_retries_counter():
+    """``probe_retries_total{scheme}`` — verification probes re-sent
+    after an unanswered per-attempt timeout."""
+    from repro.obs.registry import REGISTRY
+
+    return REGISTRY.counter(
+        "probe_retries_total",
+        "Active-verification probes re-sent after an unanswered timeout, by scheme",
+        labels=("scheme",),
+    )
 
 
 @dataclass
@@ -107,6 +124,55 @@ class MonitorScheme(Scheme):
 
     def _setup(self, lan: Lan) -> None:
         """Extra scheme-specific initialization (optional)."""
+
+    # ------------------------------------------------------------------
+    def probe_previous_owner(
+        self,
+        ip,
+        old_mac,
+        *,
+        timeout: float,
+        retries: int = 0,
+        on_reply: Callable[[object, float], None],
+        answered: Callable[[], bool],
+        on_conclude: Callable[[], None],
+        name: str = "monitor.verify",
+    ) -> None:
+        """Actively verify a rebinding with a bounded retry/timeout loop.
+
+        Sends an echo request framed at ``old_mac`` (the previous owner)
+        and waits ``timeout`` simulated seconds; if the probe stays
+        unanswered (``answered()`` false — lost frame, downed link) it
+        is re-sent up to ``retries`` times before ``on_conclude`` runs.
+        The wait is therefore always bounded by
+        ``(retries + 1) * timeout``; there is no indefinite-wait path.
+
+        Each re-send is counted in ``probe_retries_total{scheme}`` and in
+        the scheme's ``probes_sent``/``messages_sent`` (kept equal, as
+        every probe is one monitor transmission).  The verdict is still
+        rendered on a timeout boundary — a reply marks the verification
+        answered but conclusion waits for the attempt's timer, so
+        detection latency remains ``timeout`` regardless of retries.
+        """
+
+        def fire(remaining: int) -> None:
+            self.probes_sent += 1
+            self.messages_sent += 1
+            self.monitor.ping_via(
+                dst_ip=ip, dst_mac=old_mac, on_reply=on_reply, timeout=timeout
+            )
+            self.monitor.sim.schedule(
+                timeout, lambda: step(remaining), name=name
+            )
+
+        def step(remaining: int) -> None:
+            if answered() or remaining <= 0:
+                on_conclude()
+                return
+            probe_retries_counter().labels(scheme=self.profile.key).inc()
+            fire(remaining - 1)
+
+        fire(retries)
 
     # ------------------------------------------------------------------
     def _tap(self, frame: EthernetFrame, raw: bytes) -> None:

@@ -69,6 +69,7 @@ class _PendingResolution:
 class _PendingPing:
     callback: Optional[Callable[[Ipv4Address, float], None]]
     sent_at: float
+    timer: Optional[object] = None  # sim Event for the reply timeout
 
 
 class Host(Device):
@@ -657,8 +658,35 @@ class Host(Device):
             self.counters["icmp_reply_rx"] += 1
             key = (message.identifier, message.sequence)
             pending = self._pending_pings.pop(key, None)
-            if pending is not None and pending.callback is not None:
-                pending.callback(packet.src, self.sim.now - pending.sent_at)
+            if pending is not None:
+                if pending.timer is not None:
+                    pending.timer.cancel()
+                if pending.callback is not None:
+                    pending.callback(packet.src, self.sim.now - pending.sent_at)
+
+    def _register_ping(
+        self,
+        key: Tuple[int, int],
+        on_reply: Optional[Callable[[Ipv4Address, float], None]],
+        timeout: Optional[float],
+        on_timeout: Optional[Callable[[], None]],
+    ) -> None:
+        """Track an outstanding echo; with ``timeout`` the entry expires.
+
+        Without a timeout an unanswered echo (lost frame, downed link)
+        would sit in ``_pending_pings`` forever — harmless per ping, but
+        a leak under fault injection where loss is routine.
+        """
+        pending = _PendingPing(callback=on_reply, sent_at=self.sim.now)
+        self._pending_pings[key] = pending
+        if timeout is not None:
+
+            def _expire() -> None:
+                if self._pending_pings.pop(key, None) is not None:
+                    if on_timeout is not None:
+                        on_timeout()
+
+            pending.timer = self.sim.schedule(timeout, _expire, name="icmp.timeout")
 
     def ping(
         self,
@@ -666,13 +694,18 @@ class Host(Device):
         on_reply: Optional[Callable[[Ipv4Address, float], None]] = None,
         payload: bytes = b"repro-ping",
         sequence: int = 1,
+        timeout: Optional[float] = None,
+        on_timeout: Optional[Callable[[], None]] = None,
     ) -> Tuple[int, int]:
-        """Send an ICMP echo request; ``on_reply(src, rtt)`` on answer."""
+        """Send an ICMP echo request; ``on_reply(src, rtt)`` on answer.
+
+        With ``timeout`` the pending entry is dropped (and
+        ``on_timeout`` called) if no reply arrives within that many
+        simulated seconds, so the wait is always bounded.
+        """
         identifier = next(self._ping_ids) & 0xFFFF
         key = (identifier, sequence & 0xFFFF)
-        self._pending_pings[key] = _PendingPing(
-            callback=on_reply, sent_at=self.sim.now
-        )
+        self._register_ping(key, on_reply, timeout, on_timeout)
         message = IcmpMessage.echo_request(identifier, sequence, payload)
         self.send_ip(dst, IpProto.ICMP, message.encode())
         return key
@@ -684,20 +717,22 @@ class Host(Device):
         on_reply: Optional[Callable[[Ipv4Address, float], None]] = None,
         payload: bytes = b"repro-probe",
         sequence: int = 1,
+        timeout: Optional[float] = None,
+        on_timeout: Optional[Callable[[], None]] = None,
     ) -> Tuple[int, int]:
         """Echo request framed at an explicit MAC, bypassing ARP.
 
         This is the verification primitive active detectors use: probing
         the *previous* owner of a binding tells you whether it is still
         alive, without trusting the (possibly poisoned) ARP layer.
+        ``timeout``/``on_timeout`` bound the wait exactly as for
+        :meth:`ping`.
         """
         if self.ip is None:
             raise StackError(f"{self.name}: cannot probe without an IP")
         identifier = next(self._ping_ids) & 0xFFFF
         key = (identifier, sequence & 0xFFFF)
-        self._pending_pings[key] = _PendingPing(
-            callback=on_reply, sent_at=self.sim.now
-        )
+        self._register_ping(key, on_reply, timeout, on_timeout)
         message = IcmpMessage.echo_request(identifier, sequence, payload)
         packet = Ipv4Packet(
             src=self.ip,

@@ -1,0 +1,184 @@
+"""Tests for the unified run() facade and the legacy run_* shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import api
+from repro.core import experiment as exp
+from repro.core.api import KINDS, normalize_kind, run
+from repro.core.experiment import ScenarioConfig
+from repro.errors import ExperimentError
+
+FAST = ScenarioConfig(n_hosts=3, warmup=2.0, attack_duration=6.0, cooldown=1.0)
+
+
+@pytest.fixture(autouse=True)
+def _reset_legacy_warnings():
+    """Each test sees the warn-once latch in its pristine state."""
+    exp._LEGACY_WARNED.clear()
+    yield
+    exp._LEGACY_WARNED.clear()
+
+
+class TestRegistry:
+    def test_all_seven_kinds_registered(self):
+        assert sorted(KINDS) == [
+            "detection-latency",
+            "effectiveness",
+            "false-positives",
+            "footprint",
+            "interception-timeline",
+            "overhead",
+            "resolution-latency",
+        ]
+
+    def test_kind_names_match_campaign_experiments(self):
+        from repro.campaign.spec import EXPERIMENTS
+
+        assert set(EXPERIMENTS) <= set(KINDS)
+
+    def test_result_types_in_serialization_registry(self):
+        for kind in KINDS.values():
+            assert kind.result_type in exp.RESULT_TYPES.values()
+
+    def test_normalize_accepts_underscores(self):
+        assert normalize_kind("resolution_latency") == "resolution-latency"
+        assert normalize_kind(" overhead ") == "overhead"
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ExperimentError, match="unknown experiment kind"):
+            run("sideways")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ExperimentError, match="unknown parameter"):
+            run("effectiveness", FAST, scheme="dai", technique="reply", pace=2)
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(ExperimentError, match="missing required"):
+            run("detection-latency", FAST, scheme="dai")
+
+    def test_requires_scheme(self):
+        with pytest.raises(ExperimentError, match="needs a scheme"):
+            run("detection-latency", FAST, poison_rate=1.0)
+
+    def test_scheme_kwargs_collision(self):
+        with pytest.raises(ExperimentError, match="collide"):
+            run(
+                "effectiveness",
+                FAST,
+                scheme="dai",
+                technique="reply",
+                scheme_kwargs={"technique": "request"},
+            )
+
+    def test_invalid_faults_argument(self):
+        with pytest.raises(ExperimentError, match="invalid faults"):
+            run("effectiveness", FAST, scheme="dai", technique="reply",
+                faults="loss=much")
+
+    def test_faults_conflict_with_config(self):
+        import dataclasses
+
+        config = dataclasses.replace(FAST, fault_spec="loss=0.1")
+        with pytest.raises(ExperimentError, match="both"):
+            run("effectiveness", config, scheme="dai", technique="reply",
+                faults="loss=0.2")
+
+    def test_faults_none_string_is_clean(self):
+        result = run("effectiveness", FAST, scheme="dai", technique="reply",
+                     faults="none")
+        assert result.outcome == "prevented+detected"
+
+
+class TestRunKinds:
+    def test_effectiveness(self):
+        result = run("effectiveness", FAST, scheme="dai", technique="reply")
+        assert isinstance(result, exp.EffectivenessResult)
+        assert result.prevented
+
+    def test_detection_latency(self):
+        result = run("detection-latency", FAST, scheme="arpwatch", poison_rate=1.0)
+        assert isinstance(result, exp.LatencyResult)
+        assert result.detected
+
+    def test_false_positives(self):
+        result = run("false-positives", ScenarioConfig(n_hosts=3),
+                     scheme="arpwatch", duration=120.0)
+        assert isinstance(result, exp.FalsePositiveResult)
+
+    def test_overhead(self):
+        result = run("overhead", scheme="dai", n_hosts=4)
+        assert isinstance(result, exp.OverheadResult)
+        assert result.n_hosts == 4
+
+    def test_resolution_latency(self):
+        result = run("resolution-latency", scheme=None, n_resolutions=5)
+        assert isinstance(result, exp.ResolutionLatencyResult)
+
+    def test_interception_timeline(self):
+        result = run("interception-timeline", FAST, scheme=None,
+                     duration=20.0, attack_at=5.0)
+        assert isinstance(result, exp.InterceptionTimeline)
+
+    def test_footprint(self):
+        result = run("footprint", scheme="dai", n_hosts=4, settle=5.0)
+        assert isinstance(result, exp.FootprintResult)
+
+    def test_baseline_scheme_none(self):
+        result = run("effectiveness", FAST, scheme=None, technique="reply")
+        assert not result.prevented  # undefended LAN falls to the attack
+
+
+_SHIM_CALLS = [
+    ("run_effectiveness", lambda: exp.run_effectiveness("dai", "reply", config=FAST)),
+    ("run_false_positives",
+     lambda: exp.run_false_positives("arpwatch", duration=120.0,
+                                     config=ScenarioConfig(n_hosts=3))),
+    ("run_detection_latency",
+     lambda: exp.run_detection_latency("arpwatch", 1.0, config=FAST)),
+    ("run_overhead", lambda: exp.run_overhead("dai", n_hosts=4)),
+    ("run_resolution_latency", lambda: exp.run_resolution_latency(None, 5)),
+    ("run_interception_timeline",
+     lambda: exp.run_interception_timeline(None, config=FAST, duration=20.0,
+                                           attack_at=5.0)),
+    ("run_footprint", lambda: exp.run_footprint("dai", n_hosts=4, settle=5.0)),
+]
+
+
+class TestLegacyShims:
+    @pytest.mark.parametrize("name,call", _SHIM_CALLS, ids=[n for n, _ in _SHIM_CALLS])
+    def test_shim_warns_once_and_delegates(self, name, call):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = call()
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert name in str(deprecations[0].message)
+        assert "api.run" in str(deprecations[0].message)
+        assert hasattr(result, "to_dict")
+
+        # A second call through the same shim stays quiet.
+        with warnings.catch_warnings(record=True) as again:
+            warnings.simplefilter("always")
+            call()
+        assert [w for w in again if w.category is DeprecationWarning] == []
+
+    def test_shim_matches_facade_result(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            via_shim = exp.run_effectiveness("dai", "reply", config=FAST)
+        direct = api.run("effectiveness", FAST, scheme="dai", technique="reply")
+        assert via_shim.to_dict() == direct.to_dict()
+
+    def test_shims_still_exported_from_package(self):
+        import repro
+        import repro.core
+
+        for name, _ in _SHIM_CALLS:
+            assert hasattr(repro.core, name)
+        assert repro.run is api.run

@@ -1,0 +1,570 @@
+"""Tests for repro.faults: spec grammar, impairments, injector, campaigns."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError, FaultError
+from repro.faults import (
+    FaultInjector,
+    FaultSpec,
+    LinkFlap,
+    LinkImpairment,
+    apply_faults,
+    fault_events_counter,
+    parse_fault_spec,
+)
+from repro.faults.spec import parse_duration
+from repro.l2.topology import Lan
+from repro.sim.simulator import Simulator
+
+
+class _Count:
+    def __init__(self) -> None:
+        self.n = 0
+
+    def inc(self) -> None:
+        self.n += 1
+
+
+def _counts():
+    return {
+        kind: _Count()
+        for kind in ("dropped", "delayed", "duplicated", "reordered", "corrupted")
+    }
+
+
+def _impair(spec: FaultSpec, n: int = 4000, seed: int = 1, payload: bytes = b"x" * 64):
+    counts = _counts()
+    hook = LinkImpairment(spec, random.Random(seed), counts)
+    out = hook(tuple((0.0, payload) for _ in range(n)), None, None)
+    return out, counts
+
+
+# ----------------------------------------------------------------------
+# Grammar
+# ----------------------------------------------------------------------
+class TestParse:
+    def test_single_key(self):
+        assert FaultSpec.parse("loss=0.05") == FaultSpec(loss=0.05)
+
+    def test_all_scalar_keys(self):
+        spec = FaultSpec.parse(
+            "loss=0.1,latency=2ms,jitter=500us,dup=0.02,"
+            "reorder=0.03,reorder_gap=4ms,corrupt=0.01,churn=0.5"
+        )
+        assert spec.loss == 0.1
+        assert spec.latency == pytest.approx(2e-3)
+        assert spec.jitter == pytest.approx(500e-6)
+        assert spec.dup == 0.02
+        assert spec.reorder == 0.03
+        assert spec.reorder_gap == pytest.approx(4e-3)
+        assert spec.corrupt == 0.01
+        assert spec.churn == 0.5
+
+    def test_flap(self):
+        spec = FaultSpec.parse("flap=eth0@t3-5")
+        assert spec.flaps == (LinkFlap("eth0", 3.0, 5.0),)
+
+    def test_flap_repeatable(self):
+        spec = FaultSpec.parse("flap=h1@t1-2,flap=h2@t3-4.5")
+        assert spec.flaps == (LinkFlap("h1", 1.0, 2.0), LinkFlap("h2", 3.0, 4.5))
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        assert FaultSpec.parse(" loss = 0.1 , ,jitter= 1ms") == FaultSpec(
+            loss=0.1, jitter=1e-3
+        )
+
+    def test_empty_is_idle(self):
+        assert FaultSpec.parse("").is_idle
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault key"):
+            FaultSpec.parse("speed=9")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultSpec.parse("loss=0.1,loss=0.2")
+
+    def test_bare_key_rejected(self):
+        with pytest.raises(FaultError, match="key=value"):
+            FaultSpec.parse("loss")
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(FaultError, match=r"\[0, 1\]"):
+            FaultSpec.parse("loss=1.5")
+        with pytest.raises(FaultError, match=r"\[0, 1\]"):
+            FaultSpec(dup=-0.1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(FaultError, match=">= 0"):
+            FaultSpec(latency=-1.0)
+
+    def test_reorder_needs_positive_gap(self):
+        with pytest.raises(FaultError, match="reorder_gap"):
+            FaultSpec(reorder=0.1, reorder_gap=0.0)
+
+    def test_flap_window_errors(self):
+        for bad in ("eth0", "eth0@3-5", "eth0@t3", "@t3-5", "eth0@tx-y"):
+            with pytest.raises(FaultError):
+                FaultSpec.parse(f"flap={bad}")
+
+    def test_flap_must_end_after_start(self):
+        with pytest.raises(FaultError, match="end after"):
+            FaultSpec.parse("flap=eth0@t5-3")
+        with pytest.raises(FaultError, match="start must be"):
+            FaultSpec(flaps=(LinkFlap("h", -1.0, 2.0),))
+
+    def test_duration_suffixes(self):
+        assert parse_duration("50us") == pytest.approx(50e-6)
+        assert parse_duration("2ms") == pytest.approx(2e-3)
+        assert parse_duration("1.5s") == pytest.approx(1.5)
+        assert parse_duration("0.25") == pytest.approx(0.25)
+        with pytest.raises(FaultError, match="duration"):
+            parse_duration("fast")
+
+    def test_parse_fault_spec_normalisation(self):
+        assert parse_fault_spec(None) is None
+        assert parse_fault_spec("") is None
+        assert parse_fault_spec("  none ") is None
+        assert parse_fault_spec(FaultSpec()) is None  # idle spec
+        spec = FaultSpec(loss=0.1)
+        assert parse_fault_spec(spec) is spec
+        assert parse_fault_spec("loss=0.1") == spec
+        with pytest.raises(FaultError, match="must be a string"):
+            parse_fault_spec(0.1)
+
+
+# ----------------------------------------------------------------------
+# Canonical rendering and round-trips
+# ----------------------------------------------------------------------
+_SPEC_STRATEGY = st.builds(
+    FaultSpec,
+    loss=st.floats(0, 1),
+    latency=st.floats(0, 10),
+    jitter=st.floats(0, 10),
+    dup=st.floats(0, 1),
+    reorder=st.floats(0, 1),
+    reorder_gap=st.floats(1e-6, 10),
+    corrupt=st.floats(0, 1),
+    churn=st.floats(0, 100),
+    flaps=st.lists(
+        st.builds(
+            lambda t, s, d: LinkFlap(t, s, s + d),
+            st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz0123456789.", min_size=1, max_size=8
+            ),
+            st.floats(0, 100),
+            st.floats(0.001, 100),
+        ),
+        max_size=3,
+    ).map(tuple),
+)
+
+
+class TestRoundTrip:
+    def test_spec_string_is_canonical(self):
+        spec = FaultSpec.parse("jitter=2ms,loss=0.05,flap=eth0@t3-5")
+        assert spec.spec_string == "loss=0.05,jitter=0.002,flap=eth0@t3-5"
+        assert str(spec) == spec.spec_string
+
+    def test_idle_renders_none(self):
+        assert str(FaultSpec()) == "none"
+        assert FaultSpec().spec_string == ""
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec.parse("loss=0.1,latency=1ms,flap=h1@t2-4,churn=0.2")
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert FaultSpec.from_dict(payload) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultError, match="unknown fault spec fields"):
+            FaultSpec.from_dict({"loss": 0.1, "speed": 2})
+        with pytest.raises(FaultError, match="must be a dict"):
+            FaultSpec.from_dict("loss=0.1")
+        with pytest.raises(FaultError, match="malformed flap"):
+            FaultSpec.from_dict({"flaps": [{"target": "h"}]})
+
+    @settings(max_examples=60, deadline=None)
+    @given(_SPEC_STRATEGY)
+    def test_string_round_trip_property(self, spec):
+        assert FaultSpec.parse(spec.spec_string) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(_SPEC_STRATEGY)
+    def test_json_round_trip_property(self, spec):
+        assert FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+# ----------------------------------------------------------------------
+# Impairment model: distribution bounds and determinism
+# ----------------------------------------------------------------------
+class TestImpairmentModel:
+    def test_loss_rate_within_bounds(self):
+        out, counts = _impair(FaultSpec(loss=0.3))
+        assert counts["dropped"].n == 4000 - len(out)
+        assert 0.25 < counts["dropped"].n / 4000 < 0.35
+
+    def test_latency_is_fixed(self):
+        out, counts = _impair(FaultSpec(latency=0.002), n=100)
+        assert all(delay == pytest.approx(0.002) for delay, _ in out)
+        assert counts["delayed"].n == 100
+
+    def test_jitter_uniform_bounds(self):
+        out, counts = _impair(FaultSpec(jitter=0.004))
+        delays = [delay for delay, _ in out]
+        assert all(0.0 <= d <= 0.004 for d in delays)
+        mean = sum(delays) / len(delays)
+        assert 0.0017 < mean < 0.0023  # E = jitter/2
+        assert counts["delayed"].n == 4000
+
+    def test_dup_rate_and_adjacency(self):
+        out, counts = _impair(FaultSpec(dup=0.2))
+        assert len(out) == 4000 + counts["duplicated"].n
+        assert 0.16 < counts["duplicated"].n / 4000 < 0.24
+
+    def test_reorder_adds_gap(self):
+        out, counts = _impair(FaultSpec(reorder=0.25, reorder_gap=0.01))
+        held = [delay for delay, _ in out if delay > 0]
+        assert len(held) == counts["reordered"].n
+        assert all(delay == pytest.approx(0.01) for delay in held)
+        assert 0.20 < counts["reordered"].n / 4000 < 0.30
+
+    def test_corrupt_flips_exactly_one_bit(self):
+        payload = bytes(range(64))
+        out, counts = _impair(FaultSpec(corrupt=0.5), n=2000, payload=payload)
+        corrupted = [p for _, p in out if p != payload]
+        assert len(corrupted) == counts["corrupted"].n
+        assert 0.44 < counts["corrupted"].n / 2000 < 0.56
+        for mutated in corrupted:
+            assert len(mutated) == len(payload)
+            diff = [(a ^ b) for a, b in zip(mutated, payload) if a != b]
+            assert len(diff) == 1 and bin(diff[0]).count("1") == 1
+
+    def test_corrupt_skips_empty_payload(self):
+        out, counts = _impair(FaultSpec(corrupt=1.0), n=10, payload=b"")
+        assert counts["corrupted"].n == 0
+        assert all(p == b"" for _, p in out)
+
+    def test_same_seed_same_plan(self):
+        spec = FaultSpec(loss=0.2, jitter=0.001, dup=0.1, corrupt=0.05)
+        out1, _ = _impair(spec, seed=7)
+        out2, _ = _impair(spec, seed=7)
+        assert out1 == out2
+
+    def test_disabled_dimensions_draw_nothing(self):
+        """Adding a no-draw dimension must not perturb the loss pattern."""
+
+        def dropped_indices(spec):
+            counts = _counts()
+            hook = LinkImpairment(spec, random.Random(3), counts)
+            kept = set()
+            for i in range(500):
+                if hook(((0.0, b"z"),), None, None):
+                    kept.add(i)
+            return kept
+
+        assert dropped_indices(FaultSpec(loss=0.4)) == dropped_indices(
+            FaultSpec(loss=0.4, latency=0.005)
+        )
+
+
+# ----------------------------------------------------------------------
+# Injector lifecycle on a built LAN
+# ----------------------------------------------------------------------
+def _ping_count(sim, lan, frm, to, n=50, rate=0.1):
+    replies = []
+    for i in range(n):
+        sim.schedule(
+            0.05 + i * rate,
+            lambda: frm.ping(to.ip, on_reply=lambda src, rtt: replies.append(src)),
+            name="test.ping",
+        )
+    sim.run(until=0.1 + n * rate + 2.0)
+    return len(replies)
+
+
+class TestInjector:
+    def test_apply_faults_idle_is_noop(self, sim, lan):
+        assert apply_faults(None, lan) is None
+        assert apply_faults(FaultSpec(), lan) is None
+
+    def test_install_covers_all_links(self, sim):
+        lan = Lan(sim)
+        lan.add_host("a")
+        lan.add_host("b")
+        injector = apply_faults(FaultSpec(loss=0.5), lan)
+        assert injector.links_covered == len(lan.links) > 0
+        assert all(link.faults.hooks for link in lan.links)
+        injector.uninstall()
+        assert all(not link.faults.hooks for link in lan.links)
+
+    def test_double_install_rejected(self, sim, lan):
+        injector = apply_faults(FaultSpec(loss=0.5), lan)
+        with pytest.raises(FaultError, match="already installed"):
+            injector.install()
+
+    def test_flap_only_spec_installs_no_link_hooks(self, sim):
+        lan = Lan(sim)
+        lan.add_host("a")
+        injector = apply_faults(FaultSpec(flaps=(LinkFlap("a", 1.0, 2.0),)), lan)
+        assert injector.links_covered == 0
+        assert all(not link.faults.hooks for link in lan.links)
+
+    def test_cover_new_links_extends(self, sim):
+        lan = Lan(sim)
+        lan.add_host("a")
+        injector = apply_faults(FaultSpec(loss=0.1), lan)
+        before = injector.links_covered
+        lan.add_host("late")
+        assert injector.cover_new_links() == 1
+        assert injector.links_covered == before + 1
+
+    def test_total_loss_blackholes_pings(self, sim):
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        b = lan.add_host("b")
+        apply_faults(FaultSpec(loss=1.0), lan)
+        assert _ping_count(sim, lan, a, b, n=10) == 0
+
+    def test_moderate_loss_degrades_pings(self, sim):
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        b = lan.add_host("b")
+        apply_faults(FaultSpec(loss=0.3), lan)
+        replies = _ping_count(sim, lan, a, b, n=50)
+        assert 0 < replies < 50
+
+    def test_flap_window_blocks_traffic(self, sim):
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        b = lan.add_host("b")
+        apply_faults(FaultSpec(flaps=(LinkFlap("b", 1.0, 2.0),)), lan)
+        down_replies = []
+        up_replies = []
+        # Warm ARP first so the flap only affects ICMP.
+        sim.schedule(0.1, lambda: a.ping(b.ip), name="warm")
+        sim.schedule(
+            1.5,
+            lambda: a.ping(b.ip, on_reply=lambda s, r: down_replies.append(s)),
+            name="down",
+        )
+        sim.schedule(
+            2.5,
+            lambda: a.ping(b.ip, on_reply=lambda s, r: up_replies.append(s)),
+            name="up",
+        )
+        sim.run(until=4.0)
+        assert b.nic.up  # restored after the window
+        assert down_replies == []
+        assert len(up_replies) == 1
+
+    def test_flap_unknown_target(self, sim):
+        lan = Lan(sim)
+        lan.add_host("a")
+        with pytest.raises(FaultError, match="unknown target"):
+            FaultInjector(FaultSpec(flaps=(LinkFlap("ghost", 1, 2),)), lan).install()
+
+    def test_churn_flushes_caches(self, sim):
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        b = lan.add_host("b")
+        before = fault_events_counter().labels(kind="churn_flush").value
+        apply_faults(FaultSpec(churn=5.0), lan)
+        sim.schedule(0.1, lambda: a.ping(b.ip), name="warm")
+        sim.run(until=5.0)
+        assert fault_events_counter().labels(kind="churn_flush").value > before
+
+    def test_uninstall_cancels_pending_events(self, sim):
+        lan = Lan(sim)
+        lan.add_host("a")
+        injector = apply_faults(
+            FaultSpec(churn=10.0, flaps=(LinkFlap("a", 1.0, 2.0),)), lan
+        )
+        injector.uninstall()
+        sim.run(until=3.0)
+        assert lan.hosts["a"].nic.up  # flap never fired
+
+
+# ----------------------------------------------------------------------
+# ScenarioConfig integration
+# ----------------------------------------------------------------------
+class TestScenarioFaults:
+    def test_fault_spec_carried_verbatim(self):
+        from repro.core.experiment import ScenarioConfig
+
+        config = ScenarioConfig(fault_spec="loss=0.1, jitter=2ms")
+        assert config.fault_spec == "loss=0.1, jitter=2ms"
+
+    def test_invalid_fault_spec_rejected_at_config(self):
+        from repro.core.experiment import ScenarioConfig
+
+        with pytest.raises(ExperimentError, match="invalid fault_spec"):
+            ScenarioConfig(fault_spec="loss=nope")
+
+    def test_scenario_installs_injector(self):
+        from repro.core.experiment import Scenario, ScenarioConfig
+
+        scenario = Scenario(ScenarioConfig(n_hosts=3, fault_spec="loss=0.2"))
+        assert scenario.fault_injector is not None
+        assert scenario.fault_injector.installed
+        clean = Scenario(ScenarioConfig(n_hosts=3))
+        assert clean.fault_injector is None
+
+    def test_lossy_run_degrades_detection(self):
+        from repro.core import api
+
+        clean = api.run(
+            "effectiveness",
+            scheme="arpwatch",
+            technique="reply",
+            scheme_kwargs=None,
+        )
+        lossy = api.run(
+            "effectiveness",
+            scheme="arpwatch",
+            technique="reply",
+            faults="loss=1.0",
+        )
+        assert clean.detected
+        assert not lossy.detected  # monitor sees nothing on a dead wire
+
+
+# ----------------------------------------------------------------------
+# Campaign integration: faults as a sweep dimension
+# ----------------------------------------------------------------------
+FAST = {"n_hosts": 3, "warmup": 2.0, "attack_duration": 6.0, "cooldown": 1.0}
+
+
+def _campaign_spec(**overrides):
+    from repro.campaign import CampaignSpec
+
+    base = dict(
+        experiment="effectiveness",
+        schemes=("arpwatch",),
+        seeds=1,
+        scenario=dict(FAST),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestCampaignFaults:
+    def test_fault_axis_expands_grid(self):
+        spec = _campaign_spec(faults=(None, "loss=0.2", "loss=0.5"))
+        tasks = spec.tasks()
+        assert len(tasks) == 3  # 1 scheme x 3 fault levels x 1 variant x 1 seed
+        labels = {task.variant.get("faults") for task in tasks}
+        assert labels == {None, "loss=0.2", "loss=0.5"}
+
+    def test_fault_cells_get_distinct_seeds(self):
+        spec = _campaign_spec(faults=(None, "loss=0.2"))
+        seeds = [task.seed for task in spec.tasks()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_spec_round_trips_faults(self):
+        from repro.campaign import CampaignSpec
+
+        spec = _campaign_spec(faults=(None, "loss=0.2,jitter=1ms"))
+        clone = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.faults == spec.faults
+        assert [t.seed for t in clone.tasks()] == [t.seed for t in spec.tasks()]
+
+    def test_invalid_fault_level_rejected(self):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            _campaign_spec(faults=("loss=too-much",))
+        with pytest.raises(CampaignError, match="non-empty"):
+            _campaign_spec(faults=())
+
+    def test_sweep_conflicts_with_variant_faults(self):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError, match="not both"):
+            _campaign_spec(
+                faults=("loss=0.2",),
+                variants=({"technique": "reply", "faults": "loss=0.5"},),
+            )
+
+    def test_sweep_conflicts_with_pinned_scenario(self):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError, match="pins fault_spec"):
+            _campaign_spec(
+                faults=("loss=0.2",),
+                scenario={**FAST, "fault_spec": "loss=0.1"},
+            )
+
+    def test_lossy_campaign_runs_and_caches(self, tmp_path):
+        from repro.campaign import ResultCache, run_campaign
+
+        spec = _campaign_spec(faults=(None, "loss=0.15,jitter=1ms"))
+        first = run_campaign(spec, cache=ResultCache(tmp_path))
+        assert first.failures == ()
+        assert first.executed == 2
+        second = run_campaign(spec, cache=ResultCache(tmp_path))
+        assert second.cache_hits == 2 and second.executed == 0
+
+    def test_same_seed_and_faultspec_byte_identical_cells(self, tmp_path):
+        """The acceptance bar: identical (seed, FaultSpec) -> identical
+        cached campaign cell JSON, byte for byte."""
+        from repro.campaign import ResultCache, run_campaign
+
+        spec = _campaign_spec(faults=("loss=0.2,jitter=1ms,churn=0.1",))
+        for sub in ("a", "b"):
+            run_campaign(spec, cache=ResultCache(tmp_path / sub))
+        a = sorted((tmp_path / "a").glob("*.json"))
+        b = sorted((tmp_path / "b").glob("*.json"))
+        assert [p.name for p in a] == [p.name for p in b] and a
+        for left, right in zip(a, b):
+            assert left.read_bytes() == right.read_bytes()
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        loss=st.sampled_from([0.0, 0.1, 0.3]),
+        jitter_ms=st.sampled_from([0.0, 0.5, 2.0]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_same_seed_faultspec_identical_result_json(self, loss, jitter_ms, seed):
+        """Property form: one experiment, same seed + FaultSpec twice,
+        byte-identical serialized results."""
+        from repro.core import api
+        from repro.core.experiment import ScenarioConfig
+
+        spec = FaultSpec(loss=loss, jitter=jitter_ms * 1e-3)
+        config = ScenarioConfig(seed=seed, **FAST)
+        payloads = [
+            json.dumps(
+                api.run(
+                    "effectiveness",
+                    config,
+                    scheme="arpwatch",
+                    technique="reply",
+                    faults=spec if not spec.is_idle else None,
+                ).to_dict(),
+                sort_keys=True,
+            )
+            for _ in range(2)
+        ]
+        assert payloads[0] == payloads[1]
+
+    def test_outcome_metrics_labelled_by_fault_spec(self, tmp_path):
+        from repro.campaign import ResultCache, run_campaign
+        from repro.campaign.aggregate import publish_metrics
+
+        spec = _campaign_spec(faults=(None, "loss=0.15"))
+        campaign = run_campaign(spec, cache=ResultCache(tmp_path))
+        publish_metrics(campaign)
+        from repro.obs.registry import REGISTRY
+
+        snapshot = REGISTRY.snapshot()["metrics"]["campaign_outcomes_total"]
+        fault_labels = {
+            sample["labels"]["faults"] for sample in snapshot["samples"]
+        }
+        assert {"none", "loss=0.15"} <= fault_labels
