@@ -5,6 +5,7 @@ from repro.attacks.arp_scan import ArpScan
 from repro.attacks.base import Attack
 from repro.attacks.dhcp_starvation import DhcpStarvation
 from repro.attacks.dos import BlackholeDos
+from repro.attacks.flow_exhaustion import FlowTableExhaustion
 from repro.attacks.mac_flood import MacFlood
 from repro.attacks.mitm import InterceptedPacket, MitmAttack
 from repro.attacks.neighbor_exhaustion import NeighborExhaustion
@@ -22,6 +23,7 @@ __all__ = [
     "InterceptedPacket",
     "BlackholeDos",
     "MacFlood",
+    "FlowTableExhaustion",
     "PortStealing",
     "NeighborExhaustion",
     "DhcpStarvation",

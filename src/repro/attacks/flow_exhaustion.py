@@ -1,0 +1,103 @@
+"""Flow-table exhaustion (the SDN-era cousin of MAC flooding).
+
+Against an SDN-mode switch, every frame with a never-seen source MAC
+aimed at a *known* destination forces a packet-in and an exact-match
+flow install; a sustained stream of random sources fills the bounded
+flow table, driving LRU evictions (``flow_table_evictions_total``) that
+churn out legitimate conversations' flows, while the packet-in queue
+saturates toward its drop/backpressure limits.  Against a plain
+learning switch the same stream degrades gracefully into CAM
+exhaustion, i.e. classic MAC flooding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack
+from repro.errors import AttackError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.udp import UdpDatagram
+from repro.stack.host import Host
+
+__all__ = ["FlowTableExhaustion"]
+
+
+class FlowTableExhaustion(Attack):
+    """Flood random-source frames at a known target to churn the flow table."""
+
+    kind = "flow-table-exhaustion"
+
+    def __init__(
+        self,
+        attacker: Host,
+        target_mac: Optional[MacAddress] = None,
+        rate_per_second: float = 500.0,
+        burst: int = 25,
+    ) -> None:
+        """``target_mac=None`` resolves the attacker's gateway at start —
+        the destination must already be known to the controller (or CAM)
+        or the frames would merely be flooded without installing state.
+        """
+        super().__init__(attacker)
+        if rate_per_second <= 0 or burst < 1:
+            raise AttackError("rate and burst must be positive")
+        self.rate = rate_per_second
+        self.burst = burst
+        self.target_mac = target_mac
+        self._rng = attacker.sim.rng_stream(f"flowexhaust/{attacker.name}")
+        self._cancel = None
+
+    def _start(self) -> None:
+        if self.target_mac is not None:
+            self._begin(self.target_mac)
+            return
+        if self.attacker.gateway is None:
+            raise AttackError(f"{self.kind}: no target_mac and no gateway to resolve")
+        # Resolve the gateway like any host would; bursts begin once the
+        # (legitimate) resolution lands.
+        self.attacker.resolve(self.attacker.gateway, on_resolved=self._begin)
+
+    def _begin(self, target: MacAddress) -> None:
+        if not self.active or self._cancel is not None:
+            return  # stopped before resolution finished, or started twice
+        self.target_mac = target
+        interval = self.burst / self.rate
+        self._emit_burst()
+        self._cancel = self.attacker.sim.call_every(
+            interval, self._emit_burst, name=self.kind
+        )
+
+    def _stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def _emit_burst(self) -> None:
+        for _ in range(self.burst):
+            self._emit_one()
+
+    def _emit_one(self) -> None:
+        # Every frame: fresh source MAC, fixed known destination — a new
+        # exact-match flow per frame, never a hit on an existing one.
+        datagram = UdpDatagram(
+            src_port=self._rng.randrange(1024, 65536),
+            dst_port=self._rng.randrange(1024, 65536),
+            payload=b"flowx",
+        )
+        packet = Ipv4Packet(
+            src=Ipv4Address(self._rng.getrandbits(32)),
+            dst=Ipv4Address(self._rng.getrandbits(32)),
+            proto=IpProto.UDP,
+            payload=datagram.encode(),
+        )
+        frame = EthernetFrame(
+            dst=self.target_mac,
+            src=MacAddress.random(self._rng),
+            ethertype=EtherType.IPV4,
+            payload=packet.encode(),
+        )
+        self.frames_sent += 1
+        self.attacker.transmit_frame(frame, origin=f"attack:{self.kind}")

@@ -366,6 +366,26 @@ def _execute_footprint(task: CampaignTask) -> SerializableResult:
     )
 
 
+def _execute_controller_failover(task: CampaignTask) -> SerializableResult:
+    return api.run(
+        "controller-failover",
+        _scenario_config(task),
+        scheme=task.scheme,
+        fail_mode=str(task.variant.get("fail_mode", "open")),
+        poison_interval=float(task.variant.get("poison_interval", 0.5)),
+    )
+
+
+def _execute_dhcp_starvation(task: CampaignTask) -> SerializableResult:
+    return api.run(
+        "dhcp-starvation",
+        _scenario_config(task, with_dhcp=True),
+        scheme=task.scheme,
+        duration=float(task.variant.get("duration", 30.0)),
+        rate_per_second=float(task.variant.get("rate_per_second", 30.0)),
+    )
+
+
 @dataclass(frozen=True)
 class ExperimentKind:
     """Binding between a campaign experiment name and its ``run_*`` call."""
@@ -444,6 +464,28 @@ EXPERIMENTS: Dict[str, ExperimentKind] = {
             metrics=("state_entries", "scheme_messages", "switch_cam_entries"),
             variant_keys=("n_hosts", "settle"),
             default_variants=({"n_hosts": 8},),
+        ),
+        ExperimentKind(
+            name="controller-failover",
+            execute=_execute_controller_failover,
+            metrics=(
+                "guard_drops",
+                "fallback_entered",
+                "recovered",
+                "poisoned_during_flap",
+                "poisoned_outside_flap",
+                "evictions",
+            ),
+            variant_keys=("fail_mode", "poison_interval"),
+            default_variants=({"fail_mode": "open"}, {"fail_mode": "closed"}),
+            requires_scheme=True,
+        ),
+        ExperimentKind(
+            name="dhcp-starvation",
+            execute=_execute_dhcp_starvation,
+            metrics=("leases_captured", "pool_free", "exhausted"),
+            variant_keys=("duration", "rate_per_second"),
+            default_variants=({"duration": 30.0},),
         ),
     )
 }

@@ -123,7 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="which measurement to sweep (default: effectiveness)",
     )
     camp.add_argument(
-        "--schemes", default="all",
+        "--schemes", "--scheme", default="all",
         help="comma-separated scheme specs — registry keys or '+'-joined "
              "stacks like dai+arpwatch; 'none' is the no-defense baseline, "
              "'all' sweeps the whole registry (default: all)",
@@ -135,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--rates", default="1.0",
         help="comma-separated poison rates in pps (detection-latency only)",
+    )
+    camp.add_argument(
+        "--fail-modes", default="open,closed",
+        help="comma-separated controller fail modes to sweep "
+             "(controller-failover only; default: open,closed)",
     )
     camp.add_argument("--seeds", type=int, default=5,
                       help="independent trials per grid cell")
@@ -309,6 +314,13 @@ def _campaign_grid(args):
         scenario = {"n_hosts": args.hosts}
     elif args.experiment in ("overhead", "footprint"):
         variants = [{"n_hosts": args.hosts}]
+    elif args.experiment == "controller-failover":
+        variants = [{"fail_mode": m} for m in args.fail_modes.split(",") if m]
+        scenario = {"n_hosts": args.hosts, "attack_duration": args.duration,
+                    "cooldown": 2.0}
+    elif args.experiment == "dhcp-starvation":
+        variants = [{"duration": args.duration}]
+        scenario = {"n_hosts": args.hosts}
     else:  # resolution-latency
         variants = list(kind.default_variants)
     return tuple(schemes), tuple(variants), scenario
@@ -603,26 +615,17 @@ def _demo_flood(args, out) -> int:
 
 
 def _demo_starvation(args, out) -> int:
-    from repro.attacks import DhcpStarvation
-    from repro.l2.topology import Lan
-    from repro.sim.simulator import Simulator
-
-    sim = Simulator(seed=args.seed)
-    lan = Lan(sim, network="10.0.3.0/24")
-    server = lan.enable_dhcp(pool_start=100, pool_end=150)
-    attacker = lan.add_host("mallory")
-    if args.scheme is not None:
-        from repro.schemes.registry import make_defense
-
-        make_defense(args.scheme).install(lan, protected=[lan.gateway, attacker])
-    attack = DhcpStarvation(attacker, rate_per_second=30)
-    attack.start()
-    sim.run(until=min(args.duration, 30.0))
-    attack.stop()
+    config = ScenarioConfig(seed=args.seed, fault_spec=args.faults)
+    result = api.run(
+        "dhcp-starvation",
+        config,
+        scheme=args.scheme,
+        duration=min(args.duration, 30.0),
+    )
     out.write(
-        f"starvation: pool {server.free_addresses}/51 free, "
-        f"{attack.leases_captured} leases captured "
-        f"({'EXHAUSTED' if server.is_exhausted else 'surviving'})\n"
+        f"starvation: pool {result.pool_free}/{result.pool_size} free, "
+        f"{result.leases_captured} leases captured "
+        f"({'EXHAUSTED' if result.exhausted else 'surviving'})\n"
     )
     return 0
 

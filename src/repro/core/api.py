@@ -104,6 +104,19 @@ KINDS: Dict[str, Kind] = {
             result_type=_exp.FootprintResult,
             params=("n_hosts", "settle", "seed"),
         ),
+        Kind(
+            name="controller-failover",
+            runner=_exp._run_controller_failover,
+            result_type=_exp.FailoverResult,
+            params=("fail_mode", "poison_interval"),
+            requires_scheme=True,
+        ),
+        Kind(
+            name="dhcp-starvation",
+            runner=_exp._run_dhcp_starvation,
+            result_type=_exp.StarvationResult,
+            params=("duration", "rate_per_second", "greedy"),
+        ),
     )
 }
 

@@ -13,6 +13,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.attacks.arp_poison import POISON_TECHNIQUES
+from repro.attacks.dhcp_starvation import DhcpStarvation
 from repro.attacks.mitm import MitmAttack
 from repro.core.metrics import (
     GroundTruth,
@@ -28,6 +29,8 @@ from repro.l2.topology import Lan
 from repro.net.addresses import Ipv4Address
 from repro.schemes.base import Scheme
 from repro.schemes.registry import make_defense
+from repro.schemes.sdn_guard import SdnArpGuard
+from repro.schemes.stack import SchemeStack
 from repro.sim.simulator import Simulator
 from repro.stack.host import Host
 from repro.stack.os_profiles import LINUX, PROFILES, OsProfile, WINDOWS_XP
@@ -44,6 +47,8 @@ __all__ = [
     "ResolutionLatencyResult",
     "InterceptionTimeline",
     "FootprintResult",
+    "FailoverResult",
+    "StarvationResult",
     "RESULT_TYPES",
     "result_from_dict",
     "run_effectiveness",
@@ -63,6 +68,14 @@ def _tuplify(value):
     return value
 
 
+def _listify(value):
+    """Recursively turn tuples into lists (what JSON would produce anyway,
+    so ``to_dict()`` output compares equal to a reloaded payload)."""
+    if isinstance(value, (list, tuple)):
+        return [_listify(v) for v in value]
+    return value
+
+
 class SerializableResult:
     """JSON-safe ``to_dict``/``from_dict`` round-trip for result dataclasses.
 
@@ -73,7 +86,7 @@ class SerializableResult:
     """
 
     def to_dict(self) -> Dict[str, object]:
-        data = asdict(self)
+        data = {name: _listify(value) for name, value in asdict(self).items()}
         data["kind"] = type(self).__name__
         return data
 
@@ -687,6 +700,181 @@ def _run_footprint(
 
 
 # ======================================================================
+# SDN extension — controller failover under sustained poisoning
+# ======================================================================
+@dataclass(frozen=True)
+class FailoverResult(SerializableResult):
+    scheme: str
+    fail_mode: str
+    flap_windows: Tuple[Tuple[float, float], ...]
+    guard_drops: int
+    fallback_entered: bool
+    recovered: bool
+    poisoned_during_flap: float
+    poisoned_outside_flap: float
+    packet_ins: int
+    flow_mods: int
+    evictions: int
+
+    @property
+    def exposed(self) -> bool:
+        """Did the control outage actually cost protection?"""
+        return self.poisoned_during_flap > 0.0
+
+
+#: Default controller outage when the config carries no fault spec.
+DEFAULT_FAILOVER_FAULTS = "flap=ctrl@t10-20"
+
+
+def _find_sdn_guard(scheme: Optional[Scheme]) -> Optional[SdnArpGuard]:
+    """The ``SdnArpGuard`` inside ``scheme`` (bare or stacked), if any."""
+    if isinstance(scheme, SdnArpGuard):
+        return scheme
+    if isinstance(scheme, SchemeStack):
+        for member in scheme.schemes:
+            if isinstance(member, SdnArpGuard):
+                return member
+    return None
+
+
+def _run_controller_failover(
+    scheme_key: str,
+    fail_mode: str = "open",
+    config: Optional[ScenarioConfig] = None,
+    poison_interval: float = 0.5,
+    **scheme_kwargs,
+) -> FailoverResult:
+    """Poison straight through a controller outage and measure the window.
+
+    The MITM re-poisons every ``poison_interval`` seconds from shortly
+    after boot until past the last flap window, so the result separates
+    poisoning *during* the outage (the fail-open exposure) from
+    poisoning while the controller was reachable.
+    """
+    if fail_mode not in ("open", "closed"):
+        raise ExperimentError(
+            f"fail_mode must be 'open' or 'closed', got {fail_mode!r}"
+        )
+    config = config or ScenarioConfig()
+    if not config.fault_spec:
+        config = replace(config, fault_spec=DEFAULT_FAILOVER_FAULTS)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    guard = _find_sdn_guard(scheme)
+    if guard is None:
+        raise ExperimentError(
+            "controller-failover requires 'sdn-arp-guard' in the scheme "
+            f"spec, got {scheme_key!r}"
+        )
+    # Stack specs reject constructor kwargs, so the mode is applied to the
+    # located guard directly — before install, where it reaches the agents.
+    guard.fail_mode = fail_mode
+    scenario = Scenario(config)
+    scenario.install(scheme)
+    # Warm briefly rather than warm_caches(): acceptance specs like
+    # ``flap=ctrl@t3-5`` start early and a 5 s warmup would swallow them.
+    scenario.victim.ping(scenario.gateway.ip)
+    scenario.sim.run(until=1.0)
+
+    flaps = parse_fault_spec(config.fault_spec).flaps
+    last_end = max((f.end for f in flaps), default=0.0)
+    attack_start = scenario.sim.now
+    mitm = MitmAttack(
+        scenario.attacker,
+        scenario.victim,
+        scenario.gateway,
+        technique="reply",
+        interval=poison_interval,
+    )
+    mitm.start()
+    cancel = scenario.sim.call_every(
+        0.5, lambda: scenario.victim.ping(scenario.gateway.ip), name="victim-traffic"
+    )
+    run_until = max(last_end + config.cooldown, attack_start + config.attack_duration)
+    scenario.sim.run(until=run_until)
+    mitm.stop()
+    cancel()
+    scenario.sim.run(until=scenario.sim.now + config.cooldown)
+
+    gateway = scenario.gateway
+    end = scenario.sim.now
+
+    def poisoned_in(lo: float, hi: float) -> float:
+        lo, hi = max(lo, attack_start), min(hi, end)
+        if hi <= lo:
+            return 0.0
+        return poisoned_seconds(
+            scenario.victim, gateway.ip, gateway.mac, start=lo, end=hi
+        )
+
+    during = sum(poisoned_in(f.start, f.end) for f in flaps)
+    total = poisoned_in(attack_start, end)
+    controller = guard.controller
+    return FailoverResult(
+        scheme=scheme_key,
+        fail_mode=fail_mode,
+        flap_windows=tuple((f.start, f.end) for f in flaps),
+        guard_drops=guard.arp_drops,
+        fallback_entered=any(a.fallbacks > 0 for a in guard._agents),
+        recovered=any(a.recoveries > 0 for a in guard._agents),
+        poisoned_during_flap=during,
+        poisoned_outside_flap=max(0.0, total - during),
+        packet_ins=controller.packet_ins_received if controller else 0,
+        flow_mods=controller.flow_mods_sent if controller else 0,
+        evictions=sum(a.table.evictions for a in guard._agents),
+    )
+
+
+# ======================================================================
+# Supporting attack — DHCP pool starvation under a defense
+# ======================================================================
+@dataclass(frozen=True)
+class StarvationResult(SerializableResult):
+    scheme: str
+    duration: float
+    leases_captured: int
+    pool_free: int
+    pool_size: int
+    exhausted: bool
+
+    @property
+    def pool_survival_ratio(self) -> float:
+        return self.pool_free / self.pool_size if self.pool_size else 0.0
+
+
+def _run_dhcp_starvation(
+    scheme_key: Optional[str],
+    duration: float = 30.0,
+    rate_per_second: float = 30.0,
+    greedy: bool = True,
+    config: Optional[ScenarioConfig] = None,
+    **scheme_kwargs,
+) -> StarvationResult:
+    """Yersinia-style DORA flood against the standard testbed's pool."""
+    config = config or ScenarioConfig(with_dhcp=True)
+    if not config.with_dhcp:
+        config = ScenarioConfig(**{**config.__dict__, "with_dhcp": True})
+    scenario = Scenario(config)
+    scheme = _make(scheme_key, **scheme_kwargs)
+    scenario.install(scheme)
+    server = scenario.lan.dhcp_server
+    attack = DhcpStarvation(
+        scenario.attacker, rate_per_second=rate_per_second, greedy=greedy
+    )
+    start = scenario.sim.now
+    attack.start()
+    scenario.sim.run(until=start + duration)
+    attack.stop()
+    return StarvationResult(
+        scheme=scheme_key or "none",
+        duration=duration,
+        leases_captured=attack.leases_captured,
+        pool_free=server.free_addresses,
+        pool_size=len(server.pool),
+        exhausted=server.is_exhausted,
+    )
+
+
+# ======================================================================
 # Serialization registry (cross-process transfer + result cache)
 # ======================================================================
 #: Result classes by their ``kind`` tag, for polymorphic deserialization.
@@ -700,6 +888,8 @@ RESULT_TYPES: Dict[str, type] = {
         ResolutionLatencyResult,
         InterceptionTimeline,
         FootprintResult,
+        FailoverResult,
+        StarvationResult,
     )
 }
 

@@ -209,16 +209,32 @@ class FaultInjector:
     # Link flaps
     # ------------------------------------------------------------------
     def _schedule_flap(self, flap: LinkFlap) -> None:
-        link = self._resolve_flap_link(flap.target)
+        # Resolve eagerly when possible so typos fail at install time.
+        # A target that does not exist *yet* — e.g. the ``ctrl`` host a
+        # scheme registers after faults are applied — is deferred and
+        # resolved when the flap window opens; a target still unknown at
+        # that point raises the same FaultError, just later.
+        resolved: List[Optional["Link"]] = [None]
+        try:
+            resolved[0] = self._resolve_flap_link(flap.target)
+        except FaultError as error:
+            if "unknown target" not in str(error):
+                raise  # ambiguous / unattached targets exist now: real errors
+
+        def flap_down() -> None:
+            if resolved[0] is None:
+                resolved[0] = self._resolve_flap_link(flap.target)
+            self._flap_down(resolved[0])
+
+        def flap_up() -> None:
+            if resolved[0] is not None:  # down never resolved: nothing to restore
+                self._flap_up(resolved[0])
+
         self._events.append(
-            self.sim.schedule_at(
-                flap.start, lambda: self._flap_down(link), name="faults.flap_down"
-            )
+            self.sim.schedule_at(flap.start, flap_down, name="faults.flap_down")
         )
         self._events.append(
-            self.sim.schedule_at(
-                flap.end, lambda: self._flap_up(link), name="faults.flap_up"
-            )
+            self.sim.schedule_at(flap.end, flap_up, name="faults.flap_up")
         )
 
     def _resolve_flap_link(self, target: str) -> "Link":

@@ -69,6 +69,10 @@ class Switch(Device):
         self._vlan_config: dict[int, tuple] = {}
         self.vlan_aware = False
         self._vlan_cams: dict[int, CamTable] = {}
+        #: SDN takeover (repro.sdn.SwitchAgent): when set, the agent gets
+        #: first claim on every frame; None keeps the learning plane —
+        #: and the hot path — untouched.
+        self.sdn_agent = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -168,6 +172,10 @@ class Switch(Device):
             frame = EthernetFrame.lazy(data)
         except CodecError:
             self.undecodable_frames += 1
+            return
+
+        agent = self.sdn_agent
+        if agent is not None and agent.on_switch_frame(port, frame, data):
             return
 
         if self.vlan_aware:
@@ -348,6 +356,10 @@ class Switch(Device):
         flushed = self.cam.flush_port(port_index)
         for cam in self._vlan_cams.values():
             flushed += cam.flush_port(port_index)
+        if self.sdn_agent is not None:
+            # Losing the control port is how the agent learns its
+            # controller is gone and falls back to learning mode.
+            self.sdn_agent.on_link_down(port_index)
         return flushed
 
     # ------------------------------------------------------------------

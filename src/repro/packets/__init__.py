@@ -1,4 +1,5 @@
-"""Byte-accurate packet codecs: Ethernet II, ARP, IPv4, UDP, TCP, ICMP, DHCP."""
+"""Byte-accurate packet codecs: Ethernet II, ARP, IPv4, UDP, TCP, ICMP, DHCP,
+and the OpenFlow-like control messages of :mod:`repro.sdn`."""
 
 from repro.packets.arp import ArpExtension, ArpOp, ArpPacket, SARP_MAGIC, TARP_MAGIC
 from repro.packets.base import Reader, Wire, internet_checksum
@@ -12,6 +13,21 @@ from repro.packets.dhcp import (
 from repro.packets.ethernet import EtherType, EthernetFrame, MAX_PAYLOAD, MIN_PAYLOAD
 from repro.packets.icmp import IcmpMessage, IcmpType
 from repro.packets.ipv4 import IpProto, Ipv4Packet
+from repro.packets.openflow import (
+    MISS_SEND_LEN,
+    NO_BUFFER,
+    BarrierReply,
+    BarrierRequest,
+    FlowAction,
+    FlowMatch,
+    FlowMod,
+    FlowModCommand,
+    OfType,
+    PacketIn,
+    PacketInReason,
+    PacketOut,
+    decode_message,
+)
 from repro.packets.tcp import TcpFlags, TcpSegment
 from repro.packets.udp import UdpDatagram
 from repro.packets.vlan import VlanTag, tag_frame, untag_frame, vlan_of
@@ -38,6 +54,19 @@ __all__ = [
     "IcmpType",
     "IpProto",
     "Ipv4Packet",
+    "OfType",
+    "FlowAction",
+    "FlowModCommand",
+    "PacketInReason",
+    "FlowMatch",
+    "FlowMod",
+    "PacketIn",
+    "PacketOut",
+    "BarrierRequest",
+    "BarrierReply",
+    "decode_message",
+    "MISS_SEND_LEN",
+    "NO_BUFFER",
     "TcpFlags",
     "TcpSegment",
     "UdpDatagram",

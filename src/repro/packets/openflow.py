@@ -1,0 +1,436 @@
+"""OpenFlow-1.0-flavored control messages for the simulated SDN plane.
+
+The :mod:`repro.sdn` controller and switch agents speak a deliberately
+small dialect of OpenFlow 1.0 over a dedicated control channel: a switch
+reports a table miss (or a snoop-worthy packet) with :class:`PacketIn`,
+the controller programs forwarding state with :class:`FlowMod`, and
+:class:`BarrierRequest`/:class:`BarrierReply` provide the round-trip the
+controller uses both for ordering and as a keepalive/RTT probe.
+
+Every message starts with a one-byte type tag so a single buffer can be
+dispatched by :func:`decode_message`.  Like the real protocol's
+``miss_send_len``, a packet-in carries at most :data:`MISS_SEND_LEN`
+bytes of the triggering frame (enough for Ethernet + ARP or a full DHCP
+message) plus the original length, keeping control frames inside the
+Ethernet payload budget.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import CodecError
+from repro.net.addresses import MacAddress
+from repro.packets.base import Reader, memoized_encode
+
+__all__ = [
+    "OfType",
+    "FlowAction",
+    "FlowModCommand",
+    "PacketInReason",
+    "FlowMatch",
+    "FlowMod",
+    "PacketIn",
+    "PacketOut",
+    "BarrierRequest",
+    "BarrierReply",
+    "decode_message",
+    "MISS_SEND_LEN",
+    "NO_BUFFER",
+]
+
+#: Longest prefix of the triggering frame a packet-in carries.
+MISS_SEND_LEN = 512
+#: ``buffer_id`` meaning "frame not buffered at the switch".
+NO_BUFFER = 0xFFFFFFFF
+
+
+class OfType:
+    """Leading type tag of every control message."""
+
+    PACKET_IN = 1
+    FLOW_MOD = 2
+    BARRIER_REQUEST = 3
+    BARRIER_REPLY = 4
+    PACKET_OUT = 5
+
+
+class PacketInReason:
+    """Why a switch punted a frame to the controller."""
+
+    NO_MATCH = 0  # flow-table miss
+    ACTION = 1    # an installed flow's send-to-controller copy (snooping)
+
+
+class FlowModCommand:
+    """What a :class:`FlowMod` does to the table."""
+
+    ADD = 0
+    DELETE = 1
+
+
+class FlowAction:
+    """What happens to a frame that matches (or is released)."""
+
+    OUTPUT = 0  # forward out ``out_port``
+    FLOOD = 1   # flood all ports but the ingress
+    DROP = 2
+
+
+_ZERO_MAC_WIRE = b"\x00" * 6
+
+# wildcard bitmap | in_port | src | dst | ethertype
+_MATCH = struct.Struct("!BH6s6sH")
+_W_IN_PORT = 0x1
+_W_SRC = 0x2
+_W_DST = 0x4
+_W_ETHERTYPE = 0x8
+
+_PACKET_IN = struct.Struct("!BIHHB")
+_FLOW_MOD = struct.Struct("!BBBHHHHI")
+_BARRIER = struct.Struct("!BI")
+_PACKET_OUT = struct.Struct("!BIHBH")
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """A wildcardable match over ingress port and Ethernet header fields.
+
+    ``None`` in any field is a wildcard.  ARP traffic is distinguished by
+    ``ethertype`` — fine-grained ARP policy (the guard's per-sender drop
+    rules) pins ``src`` and ``in_port`` as well, which is exactly the
+    granularity the POX-style mitigation installs.
+    """
+
+    in_port: Optional[int] = None
+    src: Optional[MacAddress] = None
+    dst: Optional[MacAddress] = None
+    ethertype: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.in_port is not None and not 0 <= self.in_port <= 0xFFFF:
+            raise CodecError(f"flow match in_port {self.in_port} out of range")
+        if self.ethertype is not None and not 0 <= self.ethertype <= 0xFFFF:
+            raise CodecError(
+                f"flow match ethertype 0x{self.ethertype:x} out of range"
+            )
+
+    def matches(
+        self, in_port: int, src: MacAddress, dst: MacAddress, ethertype: int
+    ) -> bool:
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        return self.ethertype is None or ethertype == self.ethertype
+
+    def encode(self) -> bytes:
+        wildcards = 0
+        if self.in_port is None:
+            wildcards |= _W_IN_PORT
+        if self.src is None:
+            wildcards |= _W_SRC
+        if self.dst is None:
+            wildcards |= _W_DST
+        if self.ethertype is None:
+            wildcards |= _W_ETHERTYPE
+        return _MATCH.pack(
+            wildcards,
+            self.in_port or 0,
+            self.src.packed if self.src is not None else _ZERO_MAC_WIRE,
+            self.dst.packed if self.dst is not None else _ZERO_MAC_WIRE,
+            self.ethertype or 0,
+        )
+
+    @classmethod
+    def decode(cls, reader: Reader) -> "FlowMatch":
+        wildcards, in_port, src, dst, ethertype = _MATCH.unpack(
+            reader.take(_MATCH.size)
+        )
+        return cls(
+            in_port=None if wildcards & _W_IN_PORT else in_port,
+            src=None if wildcards & _W_SRC else MacAddress.from_wire(src),
+            dst=None if wildcards & _W_DST else MacAddress.from_wire(dst),
+            ethertype=None if wildcards & _W_ETHERTYPE else ethertype,
+        )
+
+
+@dataclass(frozen=True)
+class PacketIn:
+    """Switch → controller: a frame that missed the table (or was snooped).
+
+    ``frame`` is the first :data:`MISS_SEND_LEN` bytes of the triggering
+    frame; ``total_len`` preserves the original length.  ``buffer_id``
+    identifies the copy parked in the switch's bounded in-flight queue
+    (:data:`NO_BUFFER` when the switch could not buffer it).
+    """
+
+    buffer_id: int
+    in_port: int
+    reason: int
+    frame: bytes
+    total_len: int = -1  # -1: default to len(frame) below
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.buffer_id <= 0xFFFFFFFF:
+            raise CodecError(f"packet-in buffer_id {self.buffer_id} out of range")
+        if not 0 <= self.in_port <= 0xFFFF:
+            raise CodecError(f"packet-in in_port {self.in_port} out of range")
+        if self.reason not in (PacketInReason.NO_MATCH, PacketInReason.ACTION):
+            raise CodecError(f"unknown packet-in reason {self.reason}")
+        if len(self.frame) > MISS_SEND_LEN:
+            raise CodecError(
+                f"packet-in carries {len(self.frame)} bytes > {MISS_SEND_LEN}"
+            )
+        if self.total_len < 0:
+            object.__setattr__(self, "total_len", len(self.frame))
+        if self.total_len < len(self.frame) or self.total_len > 0xFFFF:
+            raise CodecError(f"packet-in total_len {self.total_len} invalid")
+
+    @classmethod
+    def for_frame(
+        cls, buffer_id: int, in_port: int, reason: int, data: bytes
+    ) -> "PacketIn":
+        """Build a packet-in for wire bytes, truncating like miss_send_len."""
+        return cls(
+            buffer_id=buffer_id,
+            in_port=in_port,
+            reason=reason,
+            frame=data[:MISS_SEND_LEN],
+            total_len=len(data),
+        )
+
+    @memoized_encode
+    def encode(self) -> bytes:
+        return (
+            _PACKET_IN.pack(
+                OfType.PACKET_IN,
+                self.buffer_id,
+                self.total_len,
+                self.in_port,
+                self.reason,
+            )
+            + self.frame
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PacketIn":
+        reader = Reader(data, context="openflow.packet_in")
+        tag, buffer_id, total_len, in_port, reason = _PACKET_IN.unpack(
+            reader.take(_PACKET_IN.size)
+        )
+        if tag != OfType.PACKET_IN:
+            raise CodecError(f"not a packet-in (type {tag})")
+        return cls(
+            buffer_id=buffer_id,
+            in_port=in_port,
+            reason=reason,
+            frame=reader.rest(),
+            total_len=total_len,
+        )
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Controller → switch: add or delete a flow entry.
+
+    ``idle_timeout``/``hard_timeout`` are whole simulated seconds
+    (OpenFlow's u16 granularity); zero means "never expires".
+    ``buffer_id`` releases the parked frame through the new entry's
+    action, closing the packet-in round trip.
+    """
+
+    match: FlowMatch
+    action: int = FlowAction.DROP
+    out_port: int = 0
+    command: int = FlowModCommand.ADD
+    priority: int = 0
+    idle_timeout: int = 0
+    hard_timeout: int = 0
+    buffer_id: int = NO_BUFFER
+
+    def __post_init__(self) -> None:
+        if self.command not in (FlowModCommand.ADD, FlowModCommand.DELETE):
+            raise CodecError(f"unknown flow-mod command {self.command}")
+        if self.action not in (
+            FlowAction.OUTPUT,
+            FlowAction.FLOOD,
+            FlowAction.DROP,
+        ):
+            raise CodecError(f"unknown flow action {self.action}")
+        for label, value, bound in (
+            ("out_port", self.out_port, 0xFFFF),
+            ("priority", self.priority, 0xFFFF),
+            ("idle_timeout", self.idle_timeout, 0xFFFF),
+            ("hard_timeout", self.hard_timeout, 0xFFFF),
+            ("buffer_id", self.buffer_id, 0xFFFFFFFF),
+        ):
+            if not 0 <= value <= bound:
+                raise CodecError(f"flow-mod {label} {value} out of range")
+
+    @memoized_encode
+    def encode(self) -> bytes:
+        return (
+            _FLOW_MOD.pack(
+                OfType.FLOW_MOD,
+                self.command,
+                self.action,
+                self.out_port,
+                self.priority,
+                self.idle_timeout,
+                self.hard_timeout,
+                self.buffer_id,
+            )
+            + self.match.encode()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FlowMod":
+        reader = Reader(data, context="openflow.flow_mod")
+        (tag, command, action, out_port, priority, idle, hard, buffer_id) = (
+            _FLOW_MOD.unpack(reader.take(_FLOW_MOD.size))
+        )
+        if tag != OfType.FLOW_MOD:
+            raise CodecError(f"not a flow-mod (type {tag})")
+        return cls(
+            match=FlowMatch.decode(reader),
+            action=action,
+            out_port=out_port,
+            command=command,
+            priority=priority,
+            idle_timeout=idle,
+            hard_timeout=hard,
+            buffer_id=buffer_id,
+        )
+
+
+@dataclass(frozen=True)
+class PacketOut:
+    """Controller → switch: apply an action to one frame, installing nothing.
+
+    This is how the controller releases a buffered packet-in without
+    programming the table — the guard uses it for every *validated* ARP
+    so that the next ARP from the same sender is validated again rather
+    than riding a cached flow.  ``frame`` carries the wire bytes when the
+    switch could not buffer the original (``buffer_id == NO_BUFFER``).
+    """
+
+    buffer_id: int
+    in_port: int
+    action: int
+    out_port: int = 0
+    frame: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.buffer_id <= 0xFFFFFFFF:
+            raise CodecError(f"packet-out buffer_id {self.buffer_id} out of range")
+        if not 0 <= self.in_port <= 0xFFFF:
+            raise CodecError(f"packet-out in_port {self.in_port} out of range")
+        if not 0 <= self.out_port <= 0xFFFF:
+            raise CodecError(f"packet-out out_port {self.out_port} out of range")
+        if self.action not in (
+            FlowAction.OUTPUT,
+            FlowAction.FLOOD,
+            FlowAction.DROP,
+        ):
+            raise CodecError(f"unknown packet-out action {self.action}")
+
+    @memoized_encode
+    def encode(self) -> bytes:
+        return (
+            _PACKET_OUT.pack(
+                OfType.PACKET_OUT,
+                self.buffer_id,
+                self.in_port,
+                self.action,
+                self.out_port,
+            )
+            + self.frame
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PacketOut":
+        reader = Reader(data, context="openflow.packet_out")
+        tag, buffer_id, in_port, action, out_port = _PACKET_OUT.unpack(
+            reader.take(_PACKET_OUT.size)
+        )
+        if tag != OfType.PACKET_OUT:
+            raise CodecError(f"not a packet-out (type {tag})")
+        return cls(
+            buffer_id=buffer_id,
+            in_port=in_port,
+            action=action,
+            out_port=out_port,
+            frame=reader.rest(),
+        )
+
+
+@dataclass(frozen=True)
+class BarrierRequest:
+    """Controller → switch ordering fence, doubling as a keepalive probe."""
+
+    xid: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.xid <= 0xFFFFFFFF:
+            raise CodecError(f"barrier xid {self.xid} out of range")
+
+    @memoized_encode
+    def encode(self) -> bytes:
+        return _BARRIER.pack(OfType.BARRIER_REQUEST, self.xid)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BarrierRequest":
+        reader = Reader(data, context="openflow.barrier_request")
+        tag, xid = _BARRIER.unpack(reader.take(_BARRIER.size))
+        if tag != OfType.BARRIER_REQUEST:
+            raise CodecError(f"not a barrier request (type {tag})")
+        return cls(xid=xid)
+
+
+@dataclass(frozen=True)
+class BarrierReply:
+    """Switch → controller: all prior messages on this channel are applied."""
+
+    xid: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.xid <= 0xFFFFFFFF:
+            raise CodecError(f"barrier xid {self.xid} out of range")
+
+    @memoized_encode
+    def encode(self) -> bytes:
+        return _BARRIER.pack(OfType.BARRIER_REPLY, self.xid)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BarrierReply":
+        reader = Reader(data, context="openflow.barrier_reply")
+        tag, xid = _BARRIER.unpack(reader.take(_BARRIER.size))
+        if tag != OfType.BARRIER_REPLY:
+            raise CodecError(f"not a barrier reply (type {tag})")
+        return cls(xid=xid)
+
+
+OfMessage = Union[PacketIn, FlowMod, PacketOut, BarrierRequest, BarrierReply]
+
+_DECODERS = {
+    OfType.PACKET_IN: PacketIn.decode,
+    OfType.FLOW_MOD: FlowMod.decode,
+    OfType.BARRIER_REQUEST: BarrierRequest.decode,
+    OfType.BARRIER_REPLY: BarrierReply.decode,
+    OfType.PACKET_OUT: PacketOut.decode,
+}
+
+
+def decode_message(data: bytes) -> OfMessage:
+    """Dispatch on the leading type byte; raises CodecError on garbage."""
+    if not data:
+        raise CodecError("empty OpenFlow message")
+    decoder = _DECODERS.get(data[0])
+    if decoder is None:
+        raise CodecError(f"unknown OpenFlow message type {data[0]}")
+    return decoder(data)

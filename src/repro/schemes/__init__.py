@@ -29,6 +29,7 @@ from repro.schemes.registry import (
     validate_scheme_spec,
 )
 from repro.schemes.sarp import SecureArp
+from repro.schemes.sdn_guard import SdnArpGuard
 from repro.schemes.snort import SnortArpspoof
 from repro.schemes.stack import STACK_SEPARATOR, SchemeStack
 from repro.schemes.static_entries import StaticArpEntries
@@ -52,6 +53,7 @@ __all__ = [
     "PortSecurity",
     "DynamicArpInspection",
     "DarpiHostInspection",
+    "SdnArpGuard",
     "SnoopedBinding",
     "ArpWatch",
     "SnortArpspoof",

@@ -22,6 +22,7 @@ from repro.schemes.hybrid import HybridDetector
 from repro.schemes.middleware import HostMiddleware
 from repro.schemes.port_security import PortSecurity
 from repro.schemes.sarp import SecureArp
+from repro.schemes.sdn_guard import SdnArpGuard
 from repro.schemes.snort import SnortArpspoof
 from repro.schemes.stack import STACK_SEPARATOR, SchemeStack
 from repro.schemes.static_entries import StaticArpEntries
@@ -52,8 +53,9 @@ ALL_SCHEMES = (
     ActiveProbe,
     HostMiddleware,
     HybridDetector,
-    # Extension beyond the paper's surveyed set (see its docstring):
+    # Extensions beyond the paper's surveyed set (see their docstrings):
     DarpiHostInspection,
+    SdnArpGuard,
 )
 
 SCHEME_FACTORIES: Dict[str, Callable[[], Scheme]] = {

@@ -1,0 +1,218 @@
+"""Scheme 14 — ``sdn-arp-guard``: controller-validated ARP over the SDN plane.
+
+A centralized take on the binding-validation idea the paper's
+switch-resident schemes implement port by port: the controller
+(:mod:`repro.sdn`) sees every ARP frame as a packet-in, validates the
+sender's ``(IP, MAC)`` claim against a lease table — DHCP ACKs snooped
+at the controller plus static inventory — and answers a spoof with an
+ingress *drop rule* on the offending ``(port, MAC)``, so the flood dies
+at the first switch.  Legitimate ARP is released without installing a
+flow, keeping every subsequent ARP under validation.
+
+What the survey's schemes cannot express, this one can — and pays for:
+the controller is a single point of failure.  During a control-channel
+outage the switches fall back to plain learning mode (``fail_mode
+="open"``, the default: connectivity survives but so do spoofs) or
+blackhole data traffic (``"closed"``: secure and dark).  The
+controller-failover experiment measures exactly that window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SchemeError
+from repro.l2.topology import Lan
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.packets.arp import ArpPacket
+from repro.packets.ethernet import EthernetFrame
+from repro.schemes.base import Coverage, Scheme, SchemeProfile, Severity
+from repro.schemes.dai import SnoopedBinding
+from repro.sdn.agent import DEFAULT_MAX_PENDING, FAIL_CLOSED, FAIL_OPEN, SwitchAgent
+from repro.sdn.controller import DEFAULT_CONTROL_LATENCY, Controller
+from repro.sdn.flow_table import DEFAULT_FLOW_CAPACITY
+from repro.stack.host import Host
+
+__all__ = ["SdnArpGuard"]
+
+
+class SdnArpGuard(Scheme):
+    """Controller-plane ARP validation with programmable drop rules."""
+
+    profile = SchemeProfile(
+        key="sdn-arp-guard",
+        display_name="SDN controller ARP guard",
+        kind="prevention",
+        placement="controller",
+        requires_infra_change=True,
+        requires_host_change=False,
+        requires_crypto=False,
+        supports_dhcp_networks=True,
+        cost="medium",
+        claimed_coverage={
+            "reply": Coverage.PREVENTS,
+            "request": Coverage.PREVENTS,
+            "gratuitous": Coverage.PREVENTS,
+            "reactive": Coverage.PREVENTS,
+        },
+        limitations=(
+            "the controller is a single point of failure",
+            "fail-open leaves an unprotected window during control outages",
+            "every ARP pays a control-channel round trip",
+            "bounded flow tables can be exhausted into fallback behaviour",
+        ),
+        reference="POX l2_arp_mitigation-style SDN controllers (post-survey)",
+    )
+
+    def __init__(
+        self,
+        fail_mode: str = FAIL_OPEN,
+        static_bindings: Optional[Dict[Ipv4Address, MacAddress]] = None,
+        drop_unknown_senders: bool = True,
+        alert_on_drop: bool = True,
+        controller_name: str = "ctrl",
+        control_latency: float = DEFAULT_CONTROL_LATENCY,
+        keepalive_interval: float = 1.0,
+        flow_capacity: int = DEFAULT_FLOW_CAPACITY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        """``static_bindings=None`` auto-provisions from the LAN's asset
+        inventory at install time, like DAI; DHCP ACK snooping keeps the
+        table current for dynamically addressed hosts.
+        """
+        if fail_mode not in (FAIL_OPEN, FAIL_CLOSED):
+            raise SchemeError(
+                f"fail_mode must be 'open' or 'closed', got {fail_mode!r}"
+            )
+        super().__init__()
+        self.fail_mode = fail_mode
+        self._configured_static = static_bindings
+        self.drop_unknown_senders = drop_unknown_senders
+        self.alert_on_drop = alert_on_drop
+        self.controller_name = controller_name
+        self.control_latency = control_latency
+        self.keepalive_interval = keepalive_interval
+        self.flow_capacity = flow_capacity
+        self.max_pending = max_pending
+        self.table: Dict[Ipv4Address, SnoopedBinding] = {}
+        self.controller: Optional[Controller] = None
+        self._agents: List[SwitchAgent] = []
+        self._sim = None
+        self.arp_drops = 0
+        self.leases_snooped = 0
+
+    # ------------------------------------------------------------------
+    # Merged overhead reporting: the controller's and the agents' control
+    # traffic is this scheme's overhead.  Same property-override pattern
+    # as SchemeStack — the base class assigns ``messages_sent = 0``, which
+    # lands in the setter.
+    # ------------------------------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        total = self._own_messages_sent
+        if self.controller is not None:
+            total += self.controller.control_messages_sent
+        for agent in self._agents:
+            total += agent.control_messages_sent
+        return total
+
+    @messages_sent.setter
+    def messages_sent(self, value: int) -> None:
+        self._own_messages_sent = value
+
+    # ------------------------------------------------------------------
+    def _install(self, lan: Lan, protected: List[Host]) -> None:
+        if self.controller_name in lan.hosts:
+            raise SchemeError(
+                f"cannot install: a host named {self.controller_name!r} exists"
+            )
+        self._sim = lan.sim
+        controller = Controller(
+            lan.sim,
+            name=self.controller_name,
+            control_latency=self.control_latency,
+            keepalive_interval=self.keepalive_interval,
+        )
+        controller.arp_validator = self._validate_arp
+        controller.dhcp_listener = self._on_lease
+        for name, switch in lan.switches.items():
+            channel = controller.connect(
+                lan,
+                name,
+                switch,
+                fail_mode=self.fail_mode,
+                flow_capacity=self.flow_capacity,
+                max_pending=self.max_pending,
+            )
+            self._agents.append(channel.agent)
+        # Registering under lan.hosts makes fault targets like
+        # ``flap=ctrl`` resolve; the controller has no IP, so workloads
+        # and protection lists never pick it up.
+        lan.hosts[self.controller_name] = controller
+        self.controller = controller
+        static = (
+            self._configured_static
+            if self._configured_static is not None
+            else lan.true_bindings()
+        )
+        for ip, mac in static.items():
+            self.table[ip] = SnoopedBinding(
+                ip=ip, mac=mac, expires_at=float("inf"), static=True
+            )
+        self._on_teardown(lambda: lan.hosts.pop(self.controller_name, None))
+        self._on_teardown(controller.disconnect_all)
+
+    # ------------------------------------------------------------------
+    # Controller policy callbacks
+    # ------------------------------------------------------------------
+    def _validate_arp(
+        self, switch_name: str, in_port: int, frame: EthernetFrame, arp: ArpPacket
+    ) -> bool:
+        now = self._sim.now
+        if frame.src != arp.sha:
+            # The exemplar's IsSpoofedPacket check: a forged ARP body
+            # behind an honest Ethernet header (or vice versa).
+            return self._drop(
+                arp, now, f"ethernet src {frame.src} != ARP sha {arp.sha}"
+            )
+        if arp.spa.is_unspecified:
+            return True  # RFC 5227 probes carry no claim
+        binding = self.table.get(arp.spa)
+        if binding is not None and binding.active(now):
+            if binding.mac == arp.sha:
+                return True
+            return self._drop(arp, now, f"lease table says {binding.mac}")
+        if self.drop_unknown_senders:
+            return self._drop(arp, now, "no lease on record")
+        return True
+
+    def _drop(self, arp: ArpPacket, now: float, why: str) -> bool:
+        self.arp_drops += 1
+        if self.alert_on_drop:
+            self.raise_alert(
+                time=now,
+                severity=Severity.CRITICAL,
+                kind="sdn-arp-drop",
+                ip=arp.spa,
+                mac=arp.sha,
+                message=why,
+                dedup_window=60.0,
+            )
+        return False
+
+    def _on_lease(self, ip: Ipv4Address, mac: MacAddress, lease_time: float) -> None:
+        self.table[ip] = SnoopedBinding(
+            ip=ip, mac=mac, expires_at=self._sim.now + lease_time
+        )
+        self.leases_snooped += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def in_fallback(self) -> bool:
+        """True while any managed switch is running without its controller."""
+        return any(agent.mode != "flow" for agent in self._agents)
+
+    def state_size(self) -> int:
+        flows = sum(agent.state_size() for agent in self._agents)
+        return len(self.table) + flows

@@ -1,0 +1,37 @@
+"""A simulated OpenFlow-like control plane.
+
+The package models the three pieces later SDN work adds on top of the
+paper's LAN: a :class:`~repro.sdn.controller.Controller` reachable over
+modeled control channels, a :class:`~repro.sdn.agent.SwitchAgent` that
+layers a bounded :class:`~repro.sdn.flow_table.FlowTable` mode over the
+existing learning switch, and the failover semantics between them
+(fail-open to learning mode vs fail-closed).  The ``sdn-arp-guard``
+scheme (:mod:`repro.schemes.sdn_guard`) builds its ARP defense on this
+plane; the ``flow-table-exhaustion`` attack targets it.
+"""
+
+from repro.sdn.agent import (
+    DEFAULT_MAX_PENDING,
+    FAIL_CLOSED,
+    FAIL_OPEN,
+    SwitchAgent,
+)
+from repro.sdn.controller import (
+    DEFAULT_CONTROL_LATENCY,
+    ControlChannel,
+    Controller,
+)
+from repro.sdn.flow_table import DEFAULT_FLOW_CAPACITY, FlowEntry, FlowTable
+
+__all__ = [
+    "Controller",
+    "ControlChannel",
+    "SwitchAgent",
+    "FlowTable",
+    "FlowEntry",
+    "DEFAULT_CONTROL_LATENCY",
+    "DEFAULT_FLOW_CAPACITY",
+    "DEFAULT_MAX_PENDING",
+    "FAIL_OPEN",
+    "FAIL_CLOSED",
+]

@@ -1,0 +1,151 @@
+"""The bounded, priority-ordered flow table of an SDN-mode switch.
+
+Entries expire lazily (idle and hard timeouts checked on lookup, like
+CAM aging) and the table is capacity-bounded: installing into a full
+table evicts the least-recently-used entry and counts it, which is the
+signal the flow-table-exhaustion attack drives and the
+``flow_table_evictions_total`` metric exposes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.net.addresses import MacAddress
+from repro.packets.openflow import FlowAction, FlowMatch
+
+__all__ = ["FlowEntry", "FlowTable", "DEFAULT_FLOW_CAPACITY"]
+
+#: Default table size — small for a real switch, deliberately so: the
+#: exhaustion attack should be able to fill it within one scenario.
+DEFAULT_FLOW_CAPACITY = 128
+
+
+@dataclass
+class FlowEntry:
+    """One installed flow: a match, an action, and its lifetime state."""
+
+    match: FlowMatch
+    action: int = FlowAction.DROP
+    out_port: int = 0
+    priority: int = 0
+    idle_timeout: float = 0.0  # 0 = never idles out
+    hard_timeout: float = 0.0  # 0 = no hard expiry
+    installed_at: float = 0.0
+    last_used: float = 0.0
+    packets: int = 0
+    seq: int = field(default=0, compare=False)
+
+    def expired(self, now: float) -> bool:
+        if self.hard_timeout > 0 and now >= self.installed_at + self.hard_timeout:
+            return True
+        return self.idle_timeout > 0 and now >= self.last_used + self.idle_timeout
+
+    def touch(self, now: float) -> None:
+        self.last_used = now
+        self.packets += 1
+
+
+class FlowTable:
+    """Priority-ordered match table with LRU eviction when full."""
+
+    def __init__(self, capacity: int = DEFAULT_FLOW_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"flow table capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: List[FlowEntry] = []
+        self._seq = itertools.count()
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FlowEntry]:
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def install(self, entry: FlowEntry, now: float) -> Optional[FlowEntry]:
+        """Add ``entry``; returns the evicted entry when the table was full.
+
+        An entry with an identical match and priority replaces the old
+        one in place (OpenFlow ADD semantics), which is not an eviction.
+        """
+        self.sweep(now)
+        entry.installed_at = now
+        entry.last_used = now
+        entry.seq = next(self._seq)
+        for i, existing in enumerate(self._entries):
+            if existing.priority == entry.priority and existing.match == entry.match:
+                self._entries[i] = entry
+                self._resort()
+                return None
+        evicted: Optional[FlowEntry] = None
+        if len(self._entries) >= self.capacity:
+            evicted = min(
+                self._entries, key=lambda e: (e.last_used, e.installed_at, e.seq)
+            )
+            self._entries.remove(evicted)
+            self.evictions += 1
+        self._entries.append(entry)
+        self._resort()
+        return evicted
+
+    def remove(self, match: FlowMatch) -> int:
+        """Delete every entry with exactly this match; returns the count."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.match != match]
+        return before - len(self._entries)
+
+    def lookup(
+        self,
+        in_port: int,
+        src: MacAddress,
+        dst: MacAddress,
+        ethertype: int,
+        now: float,
+    ) -> Optional[FlowEntry]:
+        """Highest-priority live entry matching the frame, or ``None``."""
+        hit: Optional[FlowEntry] = None
+        dead: List[FlowEntry] = []
+        for entry in self._entries:  # kept sorted: highest priority first
+            if entry.expired(now):
+                dead.append(entry)
+                continue
+            if hit is None and entry.match.matches(in_port, src, dst, ethertype):
+                hit = entry
+        for entry in dead:
+            self._entries.remove(entry)
+            self.expirations += 1
+        if hit is not None:
+            hit.touch(now)
+        return hit
+
+    def sweep(self, now: float) -> int:
+        """Drop expired entries; returns how many were removed."""
+        live = [e for e in self._entries if not e.expired(now)]
+        removed = len(self._entries) - len(live)
+        self._entries = live
+        self.expirations += removed
+        return removed
+
+    def clear(self) -> int:
+        """Flush everything (controller failover); returns the count."""
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    def _resort(self) -> None:
+        self._entries.sort(key=lambda e: (-e.priority, e.seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowTable({len(self._entries)}/{self.capacity}, "
+            f"evictions={self.evictions})"
+        )

@@ -92,13 +92,14 @@ class TestStats:
 
     def test_replicate_real_experiment(self):
         """Multi-seed replication of the baseline MITM effectiveness."""
-        from repro.core.experiment import ScenarioConfig, run_effectiveness
+        from repro.core.api import run
+        from repro.core.experiment import ScenarioConfig
 
         def experiment(seed: int):
             config = ScenarioConfig(
                 seed=seed, n_hosts=3, warmup=2.0, attack_duration=8.0, cooldown=1.0
             )
-            return run_effectiveness(None, "reply", config=config)
+            return run("effectiveness", config, scheme=None, technique="reply")
 
         out = replicate(experiment, seeds=[1, 2, 3])
         assert out["prevented"].mean == 0.0  # undefended never holds

@@ -24,9 +24,11 @@ def _reset_legacy_warnings():
 
 
 class TestRegistry:
-    def test_all_seven_kinds_registered(self):
+    def test_all_kinds_registered(self):
         assert sorted(KINDS) == [
+            "controller-failover",
             "detection-latency",
+            "dhcp-starvation",
             "effectiveness",
             "false-positives",
             "footprint",

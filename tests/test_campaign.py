@@ -18,6 +18,7 @@ from repro.campaign import (
     to_artifact,
 )
 from repro.cli import main
+from repro.core import api
 from repro.core.experiment import (
     EffectivenessResult,
     FalsePositiveResult,
@@ -28,7 +29,6 @@ from repro.core.experiment import (
     ResolutionLatencyResult,
     ScenarioConfig,
     result_from_dict,
-    run_effectiveness,
 )
 from repro.errors import CampaignError, ExperimentError
 
@@ -165,8 +165,11 @@ class TestResultSerialization:
         assert restored.peak_ratio == timeline.peak_ratio
 
     def test_real_run_round_trips(self):
-        result = run_effectiveness(
-            "dai", "reply", config=ScenarioConfig(seed=3, **FAST)
+        result = api.run(
+            "effectiveness",
+            ScenarioConfig(seed=3, **FAST),
+            scheme="dai",
+            technique="reply",
         )
         assert result_from_dict(json.loads(json.dumps(result.to_dict()))) == result
 

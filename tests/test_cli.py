@@ -35,7 +35,8 @@ class TestCommands:
         text = run_cli("list-schemes")
         assert "s-arp" in text
         assert "hybrid" in text
-        assert len(text.strip().splitlines()) == 13
+        assert "sdn-arp-guard" in text
+        assert len(text.strip().splitlines()) == 14
 
     def test_table_1(self):
         text = run_cli("table", "1")
@@ -45,7 +46,7 @@ class TestCommands:
     def test_table_1_csv(self):
         text = run_cli("table", "1", "--csv")
         assert text.startswith("Scheme,")
-        assert len(text.strip().splitlines()) == 14
+        assert len(text.strip().splitlines()) == 15
 
     def test_figure_3(self):
         text = run_cli("figure", "3")

@@ -144,12 +144,12 @@ class TestInterceptionAndFootprint:
 
 class TestCriteriaAndRegistry:
     def test_all_schemes_registered(self):
-        # the paper's twelve plus the DARPI extension
-        assert len(SCHEME_FACTORIES) == 13
+        # the paper's twelve plus the DARPI and SDN extensions
+        assert len(SCHEME_FACTORIES) == 14
 
     def test_profiles_cover_all_criteria(self):
         header, rows = comparison_matrix(all_profiles())
-        assert len(rows) == 13
+        assert len(rows) == 14
         assert len(header) == 1 + len(CRITERIA)
         assert all(len(row) == len(header) for row in rows)
 
@@ -163,7 +163,7 @@ class TestCriteriaAndRegistry:
         artifact = table_1_criteria()
         assert "S-ARP" in artifact.rendered
         assert "arpwatch" in artifact.rendered
-        assert artifact.csv.count("\n") == 14  # header + 13 schemes
+        assert artifact.csv.count("\n") == 15  # header + 14 schemes
 
     def test_every_profile_has_limitations(self):
         for profile in all_profiles():

@@ -365,10 +365,25 @@ class TestInjector:
         assert len(up_replies) == 1
 
     def test_flap_unknown_target(self, sim):
+        # Unknown targets are deferred (they may appear later, e.g. a
+        # scheme-registered controller) — the error fires with the flap.
         lan = Lan(sim)
         lan.add_host("a")
+        FaultInjector(FaultSpec(flaps=(LinkFlap("ghost", 1, 2),)), lan).install()
         with pytest.raises(FaultError, match="unknown target"):
-            FaultInjector(FaultSpec(flaps=(LinkFlap("ghost", 1, 2),)), lan).install()
+            sim.run(until=3.0)
+
+    def test_flap_target_added_after_install(self, sim):
+        # The deferred path in action: the flap target joins the LAN
+        # between install and the flap window, and still gets flapped.
+        lan = Lan(sim)
+        lan.add_host("a")
+        FaultInjector(FaultSpec(flaps=(LinkFlap("late", 1.0, 2.0),)), lan).install()
+        sim.schedule(0.5, lambda: lan.add_host("late"), name="join")
+        sim.run(until=1.5)
+        assert not lan.hosts["late"].nic.up
+        sim.run(until=3.0)
+        assert lan.hosts["late"].nic.up
 
     def test_churn_flushes_caches(self, sim):
         lan = Lan(sim)

@@ -143,14 +143,15 @@ class TestPrometheus:
 
 class TestDeterminism:
     def _trace_run(self):
-        from repro.core.experiment import ScenarioConfig, run_effectiveness
+        from repro.core.api import run
+        from repro.core.experiment import ScenarioConfig
 
         TRACER.reset()
         TRACER.enable()
         config = ScenarioConfig(seed=11, n_hosts=3, attack_duration=6.0,
                                 warmup=2.0, cooldown=1.0)
         try:
-            run_effectiveness("dai", "reply", config=config)
+            run("effectiveness", config, scheme="dai", technique="reply")
         finally:
             TRACER.disable()
         chrome = json.dumps(

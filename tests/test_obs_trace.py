@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.experiment import ScenarioConfig, run_effectiveness
+from repro.core.api import run
+from repro.core.experiment import ScenarioConfig
 from repro.obs.provenance import Provenance
 from repro.obs.trace import _NULL_SPAN, TRACER, Tracer
 
@@ -36,7 +37,7 @@ class TestTracerDisabled:
     def test_experiment_with_tracing_off_leaves_no_events(self):
         config = ScenarioConfig(seed=7, n_hosts=3, attack_duration=6.0,
                                 warmup=2.0, cooldown=1.0)
-        run_effectiveness("dai", "reply", config=config)
+        run("effectiveness", config, scheme="dai", technique="reply")
         assert len(TRACER) == 0
         assert len(TRACER.provenance) == 0
 
@@ -157,7 +158,7 @@ class TestEndToEndProvenance:
         config = ScenarioConfig(seed=7, n_hosts=3, attack_duration=6.0,
                                 warmup=2.0, cooldown=1.0)
         try:
-            result = run_effectiveness("dai", "reply", config=config)
+            result = run("effectiveness", config, scheme="dai", technique="reply")
         finally:
             TRACER.disable()
         assert result.detected
@@ -179,7 +180,7 @@ class TestEndToEndProvenance:
         config = ScenarioConfig(seed=7, n_hosts=3, attack_duration=6.0,
                                 warmup=2.0, cooldown=1.0)
         try:
-            run_effectiveness(None, "reply", config=config)
+            run("effectiveness", config, scheme=None, technique="reply")
         finally:
             TRACER.disable()
         ts = [e.ts for e in TRACER.events]

@@ -76,7 +76,7 @@ class TestConstraints:
         rec = recommend(env)
         assert rec.suitable == ()
         assert rec.best is None
-        assert len(rec.rejected) == 13
+        assert len(rec.rejected) == 14
 
     def test_rejection_reasons_are_explanatory(self):
         env = Deployment(can_modify_hosts=False, can_run_infrastructure=False)

@@ -8,10 +8,10 @@ import pytest
 
 from repro.campaign import CampaignSpec, run_campaign
 from repro.cli import main
+from repro.core.api import run
 from repro.core.experiment import (
     ScenarioConfig,
     result_from_dict,
-    run_effectiveness,
 )
 from repro.errors import CampaignError, SchemeError
 from repro.schemes.base import Scheme, SchemeProfile, Severity
@@ -165,8 +165,11 @@ class TestStackLifecycle:
 
 class TestStackExperiments:
     def test_effectiveness_with_stack_round_trips(self):
-        result = run_effectiveness(
-            "dai+arpwatch", "reply", config=ScenarioConfig(seed=11, **FAST)
+        result = run(
+            "effectiveness",
+            ScenarioConfig(seed=11, **FAST),
+            scheme="dai+arpwatch",
+            technique="reply",
         )
         assert result.scheme == "dai+arpwatch"
         assert result.prevented  # DAI stops the forged replies at the port
@@ -174,18 +177,27 @@ class TestStackExperiments:
         assert restored == result
 
     def test_stack_order_is_reported_verbatim(self):
-        result = run_effectiveness(
-            "arpwatch+dai", "reply", config=ScenarioConfig(seed=11, **FAST)
+        result = run(
+            "effectiveness",
+            ScenarioConfig(seed=11, **FAST),
+            scheme="arpwatch+dai",
+            technique="reply",
         )
         assert result.scheme == "arpwatch+dai"
 
     def test_stack_detects_and_prevents(self):
         # The stack inherits DAI's prevention and ArpWatch's detection.
-        result = run_effectiveness(
-            "dai+arpwatch", "reply", config=ScenarioConfig(seed=11, **FAST)
+        result = run(
+            "effectiveness",
+            ScenarioConfig(seed=11, **FAST),
+            scheme="dai+arpwatch",
+            technique="reply",
         )
-        solo = run_effectiveness(
-            "dai", "reply", config=ScenarioConfig(seed=11, **FAST)
+        solo = run(
+            "effectiveness",
+            ScenarioConfig(seed=11, **FAST),
+            scheme="dai",
+            technique="reply",
         )
         assert result.prevented and solo.prevented
 

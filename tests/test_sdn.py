@@ -1,0 +1,413 @@
+"""Tests for the SDN control plane (repro.sdn) and sdn-arp-guard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.attacks import FlowTableExhaustion, MitmAttack
+from repro.core import api
+from repro.core.experiment import (
+    FailoverResult,
+    ScenarioConfig,
+    StarvationResult,
+    result_from_dict,
+)
+from repro.errors import CodecError, ExperimentError, SchemeError
+from repro.l2.topology import Lan
+from repro.net.addresses import MacAddress
+from repro.packets.ethernet import EtherType
+from repro.packets.openflow import (
+    MISS_SEND_LEN,
+    NO_BUFFER,
+    BarrierReply,
+    BarrierRequest,
+    FlowAction,
+    FlowMatch,
+    FlowMod,
+    FlowModCommand,
+    PacketIn,
+    PacketInReason,
+    PacketOut,
+    decode_message,
+)
+from repro.schemes import SdnArpGuard, make_defense, parse_stack
+from repro.sdn import FAIL_CLOSED, FAIL_OPEN, FlowEntry, FlowTable
+
+#: Small scenario overrides so SDN tests stay fast.
+FAST = {"n_hosts": 3, "warmup": 2.0, "attack_duration": 8.0, "cooldown": 1.0}
+
+
+def _mac(tag: int) -> MacAddress:
+    return MacAddress(bytes((0x02, 0, 0, 0, 0, tag)))
+
+
+# ======================================================================
+# OpenFlow-like message codecs
+# ======================================================================
+class TestOpenflowCodecs:
+    def test_packet_in_round_trips(self):
+        msg = PacketIn(buffer_id=7, in_port=3, reason=PacketInReason.NO_MATCH,
+                       frame=b"\xaa" * 60)
+        restored = decode_message(msg.encode())
+        assert restored == msg
+        assert restored.total_len == 60
+
+    def test_packet_in_for_frame_truncates_but_keeps_total_len(self):
+        data = b"\x55" * (MISS_SEND_LEN + 100)
+        msg = PacketIn.for_frame(1, 2, PacketInReason.NO_MATCH, data)
+        assert len(msg.frame) == MISS_SEND_LEN
+        assert msg.total_len == len(data)
+        assert decode_message(msg.encode()) == msg
+
+    def test_flow_mod_round_trips_with_wildcards(self):
+        match = FlowMatch(in_port=4, src=_mac(1), ethertype=EtherType.ARP)
+        msg = FlowMod(match=match, action=FlowAction.DROP, priority=100,
+                      idle_timeout=60, buffer_id=9)
+        restored = decode_message(msg.encode())
+        assert restored == msg
+        assert restored.match.dst is None  # wildcarded field survives
+
+    def test_flow_mod_delete_round_trips(self):
+        msg = FlowMod(match=FlowMatch(src=_mac(2)),
+                      command=FlowModCommand.DELETE)
+        assert decode_message(msg.encode()) == msg
+
+    def test_packet_out_round_trips(self):
+        msg = PacketOut(buffer_id=NO_BUFFER, in_port=1,
+                        action=FlowAction.FLOOD, frame=b"\x01\x02")
+        assert decode_message(msg.encode()) == msg
+
+    def test_barriers_round_trip(self):
+        for msg in (BarrierRequest(xid=41), BarrierReply(xid=41)):
+            assert decode_message(msg.encode()) == msg
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(CodecError):
+            decode_message(b"")
+        with pytest.raises(CodecError):
+            decode_message(b"\xff\x00\x00")
+
+    def test_match_predicate_honours_wildcards(self):
+        match = FlowMatch(in_port=2, ethertype=EtherType.IPV4)
+        assert match.matches(2, _mac(1), _mac(2), EtherType.IPV4)
+        assert not match.matches(3, _mac(1), _mac(2), EtherType.IPV4)
+        assert not match.matches(2, _mac(1), _mac(2), EtherType.ARP)
+
+
+# ======================================================================
+# Flow table semantics
+# ======================================================================
+class TestFlowTable:
+    def _entry(self, tag: int, priority: int = 0, **kw) -> FlowEntry:
+        return FlowEntry(match=FlowMatch(src=_mac(tag)), priority=priority, **kw)
+
+    def test_priority_order_wins(self):
+        table = FlowTable(capacity=8)
+        table.install(FlowEntry(match=FlowMatch(src=_mac(1)),
+                                action=FlowAction.OUTPUT, priority=0), now=0.0)
+        table.install(FlowEntry(match=FlowMatch(src=_mac(1),
+                                                ethertype=EtherType.ARP),
+                                action=FlowAction.DROP, priority=100), now=0.0)
+        hit = table.lookup(1, _mac(1), _mac(2), EtherType.ARP, now=0.1)
+        assert hit is not None and hit.action == FlowAction.DROP
+
+    def test_lru_eviction_when_full(self):
+        table = FlowTable(capacity=3)
+        for tag in range(3):
+            table.install(self._entry(tag), now=float(tag))
+        # Touch entries 0 and 2; entry 1 is now least-recently-used.
+        table.lookup(0, _mac(0), None, None, now=5.0)
+        table.lookup(0, _mac(2), None, None, now=6.0)
+        evicted = table.install(self._entry(9), now=7.0)
+        assert evicted is not None and evicted.match.src == _mac(1)
+        assert table.evictions == 1
+        assert len(table) == 3
+
+    def test_idle_and_hard_timeouts_expire(self):
+        table = FlowTable(capacity=8)
+        table.install(self._entry(1, idle_timeout=2.0), now=0.0)
+        table.install(self._entry(2, hard_timeout=5.0), now=0.0)
+        assert table.lookup(0, _mac(1), None, None, now=1.0) is not None  # touch
+        assert table.lookup(0, _mac(1), None, None, now=2.5) is not None  # touch
+        assert table.lookup(0, _mac(2), None, None, now=4.9) is not None
+        assert table.lookup(0, _mac(1), None, None, now=5.0) is None  # idle out
+        assert table.lookup(0, _mac(2), None, None, now=6.0) is None  # hard cap
+        assert table.expirations == 2
+
+    def test_reinstall_same_match_replaces_not_evicts(self):
+        table = FlowTable(capacity=1)
+        table.install(self._entry(1, priority=5), now=0.0)
+        assert table.install(self._entry(1, priority=5), now=1.0) is None
+        assert table.evictions == 0 and len(table) == 1
+
+    def test_clear_reports_count(self):
+        table = FlowTable(capacity=8)
+        for tag in range(4):
+            table.install(self._entry(tag), now=0.0)
+        assert table.clear() == 4
+        assert len(table) == 0
+
+
+# ======================================================================
+# Guard lifecycle and validation
+# ======================================================================
+class TestSdnArpGuard:
+    def test_rejects_bad_fail_mode(self):
+        with pytest.raises(SchemeError, match="fail_mode"):
+            SdnArpGuard(fail_mode="maybe")
+
+    def test_install_uninstall_round_trip(self, sim):
+        lan = Lan(sim)
+        lan.add_host("a")
+        lan.add_host("b")
+        guard = SdnArpGuard()
+        guard.install(lan)
+        assert "ctrl" in lan.hosts
+        assert lan.switch.sdn_agent is not None
+        assert guard.state_size() >= len(lan.true_bindings())
+        guard.uninstall()
+        assert "ctrl" not in lan.hosts
+        assert lan.switch.sdn_agent is None
+
+    def test_duplicate_controller_name_rejected(self, sim):
+        lan = Lan(sim)
+        lan.add_host("ctrl")
+        with pytest.raises(SchemeError, match="ctrl"):
+            SdnArpGuard().install(lan)
+
+    def test_forwarding_still_works_under_flows(self, sim):
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        b = lan.add_host("b")
+        SdnArpGuard().install(lan)
+        replies = []
+        sim.schedule(0.5, lambda: a.ping(b.ip, on_reply=lambda s, r: replies.append(s)))
+        sim.run(until=3.0)
+        assert len(replies) == 1
+
+    def test_guard_drops_spoofed_arp_and_programs_rule(self, sim):
+        lan = Lan(sim)
+        victim = lan.add_host("victim")
+        peer = lan.add_host("peer")
+        mallory = lan.add_host("mallory")
+        guard = SdnArpGuard()
+        guard.install(lan)
+        sim.schedule(0.5, lambda: victim.ping(peer.ip))
+        sim.run(until=2.0)
+        mitm = MitmAttack(mallory, victim, lan.gateway)
+        mitm.start()
+        sim.run(until=6.0)
+        mitm.stop()
+        assert guard.arp_drops > 0
+        assert guard.alerts and guard.alerts[0].kind == "sdn-arp-drop"
+        entry = victim.arp_cache.get(lan.gateway.ip, sim.now)
+        assert entry is None or entry.mac == lan.gateway.mac
+        # The drop rule lives in the edge switch's table at priority 100.
+        agent = lan.switch.sdn_agent
+        assert any(
+            e.priority == 100 and e.action == FlowAction.DROP
+            and e.match.src == mallory.mac
+            for e in agent.table
+        )
+
+    def test_stack_spec_parses_and_installs(self, sim):
+        assert parse_stack("sdn-arp-guard+dai") == ["sdn-arp-guard", "dai"]
+        stack = make_defense("sdn-arp-guard+dai")
+        lan = Lan(sim)
+        lan.add_host("a")
+        stack.install(lan)
+        assert "ctrl" in lan.hosts
+        stack.uninstall()
+        assert "ctrl" not in lan.hosts
+
+    def test_dhcp_snoop_learns_leases(self, sim):
+        from repro.stack.dhcp_client import DhcpClient
+
+        lan = Lan(sim)
+        lan.enable_dhcp()
+        guard = SdnArpGuard()
+        guard.install(lan)
+        joiner = lan.add_dhcp_host("joiner")
+        DhcpClient(joiner).start()
+        sim.run(until=10.0)
+        assert joiner.ip is not None
+        assert guard.leases_snooped >= 1
+        assert guard.table[joiner.ip].mac == joiner.mac
+
+
+# ======================================================================
+# Controller failover
+# ======================================================================
+class TestControllerFailover:
+    def _flapped_lan(self, sim, fail_mode):
+        from repro.faults import FaultInjector, parse_fault_spec
+
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        b = lan.add_host("b")
+        guard = SdnArpGuard(fail_mode=fail_mode)
+        guard.install(lan)
+        FaultInjector(parse_fault_spec("flap=ctrl@t2-4"), lan).install()
+        return lan, a, b, guard
+
+    def test_flap_enters_fallback_and_flushes_cam(self, sim):
+        lan, a, b, guard = self._flapped_lan(sim, FAIL_OPEN)
+        sim.schedule(0.5, lambda: a.ping(b.ip))
+        sim.run(until=1.5)
+        assert len(lan.switch.cam) > 0
+        assert not guard.in_fallback()
+        sim.run(until=2.5)  # inside the flap window
+        agent = lan.switch.sdn_agent
+        assert guard.in_fallback()
+        assert agent.mode == "fallback"
+        assert len(lan.switch.cam) == 0  # failover flushed the CAM
+        assert len(agent.table) == 0
+
+    def test_fail_open_keeps_forwarding_during_outage(self, sim):
+        lan, a, b, guard = self._flapped_lan(sim, FAIL_OPEN)
+        replies = []
+        sim.schedule(0.5, lambda: a.ping(b.ip))
+        sim.schedule(
+            2.5, lambda: a.ping(b.ip, on_reply=lambda s, r: replies.append(s))
+        )
+        sim.run(until=3.5)
+        assert guard.in_fallback()
+        assert len(replies) == 1  # learning plane carried the traffic
+
+    def test_fail_closed_blackholes_during_outage(self, sim):
+        lan, a, b, guard = self._flapped_lan(sim, FAIL_CLOSED)
+        replies = []
+        sim.schedule(0.5, lambda: a.ping(b.ip))
+        sim.schedule(
+            2.5, lambda: a.ping(b.ip, on_reply=lambda s, r: replies.append(s))
+        )
+        sim.run(until=3.5)
+        assert guard.in_fallback()
+        assert replies == []
+        assert lan.switch.sdn_agent.closed_drops > 0
+
+    def test_keepalive_drives_recovery_after_flap(self, sim):
+        lan, a, b, guard = self._flapped_lan(sim, FAIL_OPEN)
+        sim.run(until=3.0)
+        assert guard.in_fallback()
+        # Controller keepalives run every 1 s; the flap ends at t=4.
+        sim.run(until=6.5)
+        agent = lan.switch.sdn_agent
+        assert not guard.in_fallback()
+        assert agent.recoveries == 1
+        assert guard.controller.reconnects >= 1
+
+    def test_controller_rtt_histogram_observes(self, sim):
+        from repro.obs import REGISTRY
+
+        lan = Lan(sim)
+        lan.add_host("a")
+        SdnArpGuard().install(lan)
+        before = REGISTRY.histogram(
+            "controller_rtt_seconds", "", labels=("switch",)
+        ).labels(switch="switch1").count
+        sim.run(until=5.0)
+        after = REGISTRY.histogram(
+            "controller_rtt_seconds", "", labels=("switch",)
+        ).labels(switch="switch1").count
+        assert after > before
+
+
+# ======================================================================
+# Flow-table exhaustion attack
+# ======================================================================
+class TestFlowTableExhaustion:
+    def test_exhaustion_drives_evictions(self, sim):
+        lan = Lan(sim)
+        a = lan.add_host("a")
+        mallory = lan.add_host("mallory")
+        SdnArpGuard(flow_capacity=16).install(lan)
+        sim.schedule(0.2, lambda: a.ping(lan.gateway.ip))
+        sim.run(until=1.0)
+        attack = FlowTableExhaustion(mallory, rate_per_second=400.0)
+        attack.start()
+        sim.run(until=4.0)
+        attack.stop()
+        agent = lan.switch.sdn_agent
+        assert attack.frames_sent > 16
+        assert agent.table.evictions > 0
+        assert len(agent.table) <= 16
+
+    def test_against_plain_switch_degrades_to_mac_flood(self, sim):
+        lan = Lan(sim)
+        mallory = lan.add_host("mallory")
+        attack = FlowTableExhaustion(mallory, target_mac=lan.gateway.mac,
+                                     rate_per_second=400.0)
+        attack.start()
+        sim.run(until=2.0)
+        attack.stop()
+        assert len(lan.switch.cam) > 100  # CAM pressure instead
+
+
+# ======================================================================
+# Experiment facade + campaign round-trip
+# ======================================================================
+class TestFailoverExperiment:
+    def test_api_kind_requires_guard_in_spec(self):
+        with pytest.raises(ExperimentError, match="sdn-arp-guard"):
+            api.run("controller-failover", scheme="dai")
+
+    def test_api_rejects_bad_fail_mode(self):
+        with pytest.raises(ExperimentError, match="fail_mode"):
+            api.run("controller-failover", scheme="sdn-arp-guard",
+                    fail_mode="sideways")
+
+    def test_failover_open_vs_closed(self):
+        config = ScenarioConfig(seed=5, **FAST)
+        opened = api.run("controller-failover", config, scheme="sdn-arp-guard",
+                         faults="flap=ctrl@t3-5", fail_mode="open")
+        closed = api.run("controller-failover", config, scheme="sdn-arp-guard",
+                         faults="flap=ctrl@t3-5", fail_mode="closed")
+        assert opened.fallback_entered and opened.recovered
+        assert closed.fallback_entered and closed.recovered
+        assert opened.poisoned_during_flap > 0.0  # the fail-open window
+        assert closed.poisoned_during_flap == 0.0
+        assert opened.exposed and not closed.exposed
+
+    def test_failover_with_stack_sets_mode_on_member(self):
+        config = ScenarioConfig(seed=5, **FAST)
+        result = api.run("controller-failover", config,
+                         scheme="sdn-arp-guard+dai",
+                         faults="flap=ctrl@t3-5", fail_mode="closed")
+        assert result.scheme == "sdn-arp-guard+dai"
+        assert result.fail_mode == "closed"
+        assert result.fallback_entered
+
+    def test_failover_result_json_round_trips(self):
+        result = api.run("controller-failover", ScenarioConfig(seed=5, **FAST),
+                         scheme="sdn-arp-guard", faults="flap=ctrl@t3-5")
+        assert isinstance(result, FailoverResult)
+        wire = json.loads(json.dumps(result.to_dict()))
+        assert result_from_dict(wire) == result
+
+    def test_starvation_result_json_round_trips(self):
+        result = api.run("dhcp-starvation", scheme=None, duration=5.0)
+        assert isinstance(result, StarvationResult)
+        assert result.leases_captured > 0
+        wire = json.loads(json.dumps(result.to_dict()))
+        assert result_from_dict(wire) == result
+
+    def test_campaign_cell_round_trips(self, tmp_path):
+        from repro.campaign import CampaignSpec, run_campaign
+
+        spec = CampaignSpec(
+            experiment="controller-failover",
+            schemes=("sdn-arp-guard",),
+            variants=({"fail_mode": "open"},),
+            seeds=1,
+            scenario=dict(FAST),
+            faults=("flap=ctrl@t3-5",),
+        )
+        campaign = run_campaign(spec, jobs=1, cache=None)
+        assert campaign.total_tasks == 1 and not campaign.failures
+        payload = next(iter(campaign.results.values()))
+        result = result_from_dict(payload)
+        assert isinstance(result, FailoverResult)
+        assert result.fallback_entered
