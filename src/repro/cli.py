@@ -266,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=None,
         help="fraction of baseline throughput that still passes (default 0.5)",
     )
+    bench.add_argument(
+        "--no-batch", action="store_true",
+        help="disable coalesced event dispatch for this run (gates the "
+        "per-frame data plane; batch-only baseline keys are skipped)",
+    )
     return parser
 
 
@@ -491,6 +496,7 @@ def _cmd_bench(args, out) -> int:
 
     from repro.perf import PERF
     from repro.perf.bench import (
+        BATCH_ONLY_BENCHMARKS,
         DEFAULT_TOLERANCE,
         check,
         format_results,
@@ -498,6 +504,12 @@ def _cmd_bench(args, out) -> int:
         run_suite,
         write_baseline,
     )
+
+    if args.no_batch:
+        # Process-wide: every Simulator built by the suite inherits it.
+        import repro.sim.simulator as _simulator
+
+        _simulator.DEFAULT_BATCHING = False
 
     if args.baseline is not None:
         baseline_path = Path(args.baseline)
@@ -512,6 +524,10 @@ def _cmd_bench(args, out) -> int:
     out.write(f"# perf: {PERF.summary()}\n")
 
     if args.update:
+        if args.no_batch:
+            out.write("# refusing --update with --no-batch: the baseline "
+                      "must carry the batched headline\n")
+            return 2
         write_baseline(baseline_path, results)
         out.write(f"# baseline written to {baseline_path}\n")
         return 0
@@ -522,7 +538,8 @@ def _cmd_bench(args, out) -> int:
         tolerance = (
             args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
         )
-        failures = check(results, baseline, tolerance)
+        allow_missing = BATCH_ONLY_BENCHMARKS if args.no_batch else frozenset()
+        failures = check(results, baseline, tolerance, allow_missing)
         for failure in failures:
             out.write(f"# REGRESSION {failure}\n")
         if failures:

@@ -5,15 +5,27 @@ two ports and carries raw frame bytes between them with a configurable
 propagation latency and serialization rate.  Every link can host a
 :class:`~repro.sim.trace.TraceRecorder`, which is how sniffers and the
 evaluation's overhead accounting observe traffic.
+
+The wire is also where the batched data plane engages: when the owning
+simulator has ``batching`` on (and tracing is off — traced runs keep
+exact per-frame dispatch so span/provenance semantics never fork),
+:meth:`Link.carry` coalesces same-instant deliveries to one receiver
+into a single ``deliver_batch`` flush instead of one event per frame,
+and :meth:`Port.transmit_batch` lets a flooding switch hand a whole
+frame batch to each egress link in one call.  Fault-injection hooks on
+:attr:`Link.faults` still transform every frame individually (same hook
+order, same RNG draw order), so ``repro.faults`` semantics are identical
+on both paths.
 """
 
 from __future__ import annotations
 
 from functools import partial
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.errors import PortError, TopologyError
 from repro.hooks import HookPoint
+from repro.obs.trace import TRACER
 from repro.sim.simulator import Simulator
 from repro.sim.trace import Direction, TraceRecorder
 
@@ -53,6 +65,15 @@ class Port:
         self.tx_bytes += len(data)
         link.carry(self, data)
 
+    def transmit_batch(self, datas: Sequence[bytes]) -> None:
+        """Send many frames out this port in one call (flood egress)."""
+        link = self.link
+        if link is None or not self.up or not datas:
+            return
+        self.tx_frames += len(datas)
+        self.tx_bytes += sum(map(len, datas))
+        link.carry_batch(self, datas)
+
     def deliver(self, data: bytes) -> None:
         """Called by the link when a frame arrives at this port."""
         if not self.up:
@@ -60,6 +81,19 @@ class Port:
         self.rx_frames += 1
         self.rx_bytes += len(data)
         self.device.on_frame(self, data)
+
+    def deliver_batch(self, datas: Sequence[bytes]) -> None:
+        """Coalesced-delivery sink: a batch of frames arriving together.
+
+        The whole batch shares one administrative state: a port that went
+        down before the flush drops every frame in it, exactly as it
+        would have dropped each frame arriving individually.
+        """
+        if not self.up:
+            return
+        self.rx_frames += len(datas)
+        self.rx_bytes += sum(map(len, datas))
+        self.device.on_frame_batch(self, datas)
 
     def shut(self) -> None:
         """Administratively disable the port (what port security does)."""
@@ -127,25 +161,99 @@ class Link:
             receiver = self.other_end(sender)  # defensive; peers are set on link-up
         self.frames_carried += 1
         self.bytes_carried += len(data)
+        sim = self.sim
         if self.recorder is not None:
-            self.recorder.record(
-                self.sim.now, sender.name, Direction.TX, data
-            )
+            self.recorder.record(sim.now, sender.name, Direction.TX, data)
+        batching = sim.batching and not TRACER.enabled
         if self.faults.hooks:
             # Impairment hooks rewrite the delivery plan: each entry is
             # (extra_delay, payload); an empty plan means the frame is lost.
             plan = self.faults.transform(((0.0, data),), self, sender)
             for extra, payload in plan:
-                self.sim.schedule(
-                    self.latency + len(payload) * self._seconds_per_byte + extra,
-                    partial(receiver.deliver, payload),
+                delay = (
+                    self.latency + len(payload) * self._seconds_per_byte + extra
+                )
+                if batching:
+                    sim.coalesce(delay, receiver, payload)
+                else:
+                    sim.schedule(
+                        delay, partial(receiver.deliver, payload), name="link.carry"
+                    )
+            return
+        delay = self.latency + len(data) * self._seconds_per_byte
+        if batching:
+            # Same-instant deliveries to this receiver share one flush
+            # event; the delay expression is byte-for-byte the one the
+            # per-event path uses, so timestamps never diverge.
+            sim.coalesce(delay, receiver, data)
+            return
+        # partial() instead of a lambda: the callback fires in C without an
+        # intermediate Python frame, and this is one event per frame hop.
+        sim.schedule(delay, partial(receiver.deliver, data), name="link.carry")
+
+    def carry_batch(self, sender: Port, datas: Sequence[bytes]) -> None:
+        """Propagate a whole frame batch from ``sender`` in one call.
+
+        Used by the switch's batched flood/forward egress: counters and
+        capture are updated per frame (a sniffer on the link sees exactly
+        the per-frame trace), faults transform each frame in batch order
+        with unchanged RNG draw order, and delivery coalesces frames by
+        computed arrival time — frames of equal length land in one batch.
+        """
+        receiver = sender.peer
+        if receiver is None:
+            receiver = self.other_end(sender)
+        sim = self.sim
+        self.frames_carried += len(datas)
+        self.bytes_carried += sum(map(len, datas))
+        if self.recorder is not None:
+            record = self.recorder.record
+            now = sim.now
+            name = sender.name
+            for data in datas:
+                record(now, name, Direction.TX, data)
+        latency = self.latency
+        spb = self._seconds_per_byte
+        batching = sim.batching and not TRACER.enabled
+        if self.faults.hooks:
+            # Per-frame transform inside the batch: each frame gets its own
+            # delivery plan, drawn in batch (== wire) order.
+            plans = self.faults.transform_batch(
+                [((0.0, data),) for data in datas], self, sender
+            )
+            for plan in plans:
+                for extra, payload in plan:
+                    delay = latency + len(payload) * spb + extra
+                    if batching:
+                        sim.coalesce(delay, receiver, payload)
+                    else:
+                        sim.schedule(
+                            delay,
+                            partial(receiver.deliver, payload),
+                            name="link.carry",
+                        )
+            return
+        if not batching:
+            schedule = sim.schedule
+            for data in datas:
+                schedule(
+                    latency + len(data) * spb,
+                    partial(receiver.deliver, data),
                     name="link.carry",
                 )
             return
-        delay = self.latency + len(data) * self._seconds_per_byte
-        # partial() instead of a lambda: the callback fires in C without an
-        # intermediate Python frame, and this is one event per frame hop.
-        self.sim.schedule(delay, partial(receiver.deliver, data), name="link.carry")
+        # Group by frame length (== by arrival time): the common flood
+        # batch is uniform, so this is one accumulator probe for the lot.
+        by_len: dict = {}
+        for data in datas:
+            group = by_len.get(len(data))
+            if group is None:
+                by_len[len(data)] = [data]
+            else:
+                group.append(data)
+        coalesce_many = sim.coalesce_many
+        for length, group in by_len.items():
+            coalesce_many(latency + length * spb, receiver, group)
 
     def disconnect(self) -> None:
         """Tear the link down (cable pull)."""
@@ -174,6 +282,18 @@ class Device:
     def on_frame(self, port: Port, data: bytes) -> None:
         """Handle a frame arriving on ``port``.  Subclasses override."""
         raise NotImplementedError
+
+    def on_frame_batch(self, port: Port, datas: Sequence[bytes]) -> None:
+        """Handle a coalesced batch of frames arriving on ``port``.
+
+        The default simply unrolls to :meth:`on_frame` in batch (== wire)
+        order, so devices without a vectorized receive path behave exactly
+        as if each frame had arrived on its own event.  The switch and
+        host override this with batch-aware fast paths.
+        """
+        on_frame = self.on_frame
+        for data in datas:
+            on_frame(port, data)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name}, ports={len(self.ports)})"

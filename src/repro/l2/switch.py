@@ -14,7 +14,7 @@ defenses exploit:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import CodecError, TopologyError
 from repro.hooks import HookPoint, Pipeline
@@ -204,6 +204,119 @@ class Switch(Device):
             return  # hairpin; already on the right segment
         self.forwarded_frames += 1
         self._send(out_index, data)
+
+    def on_frame_batch(self, port: Port, datas: Sequence[bytes]) -> None:
+        """Batched receive: vectorize the plain learning data plane.
+
+        Traced, SDN-managed and VLAN-aware planes unroll to the per-frame
+        path (their semantics involve per-frame spans, controller state or
+        per-VID tables); the plain plane — the hot path every benchmark
+        and large-scale scenario exercises — runs the batch fast path.
+        """
+        if (
+            TRACER.enabled
+            or self.sdn_agent is not None
+            or self.vlan_aware
+            or self.ingress_filters.hooks  # one truthiness check per batch
+        ):
+            # Per-frame fallback: spans, controller state, per-VID tables
+            # and ingress filters all observe switch state *between*
+            # frames, so their view must not change when frames arrive
+            # batched.
+            on_frame = self.on_frame
+            for data in datas:
+                on_frame(port, data)
+            return
+        self._data_plane_batch(port, datas)
+
+    def _data_plane_batch(self, port: Port, datas: Sequence[bytes]) -> None:
+        """One pass over a frame batch: capture, learn, resolve, egress.
+
+        Per-frame work is reduced to raw byte slicing: destination and
+        source MACs are read straight from the wire bytes and resolved
+        through the CAM's bytes-keyed index, no ``FrameView`` is built,
+        and CAM aging runs exactly once for the whole batch
+        (watermark-bounded) instead of once per frame.  Learning and
+        resolution stay interleaved in wire order — a frame whose source
+        completes a later frame's destination behaves identically on the
+        batched and per-frame planes.  Egress is grouped per output port
+        and handed to each link as one batch, in wire order.
+        """
+        now = self.sim.now
+        record = self.recorder.record
+        port_name = port.name
+        for data in datas:
+            record(now, port_name, Direction.RX, data)
+
+        cam = self.cam
+        cam.expire(now)  # the batch's one aging sweep
+        learn = cam.learn_wire
+        # After the sweep nothing in the table is stale for `now`, so
+        # destination probes are bare bytes-dict gets (the inlined form
+        # of CamTable.lookup_batch, skipping its second expire call).
+        lookup = cam._by_wire.get
+        mirror = (
+            self._mirror_target is not None
+            and port.index in self._mirror_sources
+        )
+        out_lists: Dict[int, List[bytes]] = {}
+        ingress_index = port.index
+        mirror_target = self._mirror_target
+        ports = self.ports
+        n_ports = len(ports)
+        flood_count = 0
+        forwarded = 0
+        undecodable = 0
+        for data in datas:
+            if len(data) < 14:
+                undecodable += 1
+                continue
+            learn(data[6:12], ingress_index, now)
+            if data[0] & 1:  # multicast/broadcast destination: flood
+                entry = None
+            else:
+                entry = lookup(data[:6])
+            if mirror:
+                group = out_lists.get(mirror_target)
+                if group is None:
+                    out_lists[mirror_target] = [data]
+                else:
+                    group.append(data)
+            if entry is None:
+                # Unknown unicast or multicast: flood out every port but
+                # the ingress and the mirror target (which got its copy
+                # above).  This is the fail-open behaviour MAC flooding
+                # forces permanently by filling the CAM.
+                flood_count += 1
+                for index in range(n_ports):
+                    if index == ingress_index or index == mirror_target:
+                        continue
+                    group = out_lists.get(index)
+                    if group is None:
+                        out_lists[index] = [data]
+                    else:
+                        group.append(data)
+                continue
+            out_index = entry.port_index
+            if out_index == ingress_index:
+                continue  # hairpin; already on the right segment
+            forwarded += 1
+            group = out_lists.get(out_index)
+            if group is None:
+                out_lists[out_index] = [data]
+            else:
+                group.append(data)
+        self.undecodable_frames += undecodable
+        self.forwarded_frames += forwarded
+        if flood_count:
+            self.flooded_frames += flood_count
+            egress = n_ports - 1 - (
+                1 if mirror_target is not None and mirror_target != ingress_index
+                else 0
+            )
+            PERF.flood_buffer_reuses += flood_count * egress
+        for index, group in out_lists.items():
+            ports[index].transmit_batch(group)
 
     def _run_ingress_filters(self, port: Port, frame: EthernetFrame) -> bool:
         """Run every ingress filter through the hook pipeline; False = drop.

@@ -39,6 +39,11 @@ class PerfCounters:
         "trace_drops",
         "hook_errors",
         "dedup_evictions",
+        "batch_flushes",
+        "batched_items",
+        "nic_batch_filtered",
+        "cam_sweeps",
+        "cam_sweep_skips",
     )
 
     __slots__ = ADDITIVE + (
@@ -58,6 +63,17 @@ class PerfCounters:
         self.hook_errors = 0
         #: Alert-dedup LRU evictions (bounded Scheme._dedup_seen).
         self.dedup_evictions = 0
+        #: Coalesced-batch flush events dispatched by the simulator.
+        self.batch_flushes = 0
+        #: Frames delivered through coalesced batches (vs one event each).
+        self.batched_items = 0
+        #: Foreign unicast frames dropped by the vectorized NIC filter
+        #: without an event, a frame view, or a per-frame Python call.
+        self.nic_batch_filtered = 0
+        #: CAM aging sweeps actually performed (full dict walks).
+        self.cam_sweeps = 0
+        #: CAM sweeps skipped by the next-expiry watermark.
+        self.cam_sweep_skips = 0
         self._intern_hits_base = 0
         self._intern_misses_base = 0
 
@@ -101,6 +117,14 @@ class PerfCounters:
         total = self.packet_encodes + self.encodes_avoided
         return self.encodes_avoided / total if total else 0.0
 
+    @property
+    def batch_coalesce_rate(self) -> float:
+        """Fraction of batched frames that shared a flush event."""
+        items = self.batched_items
+        if not items:
+            return 0.0
+        return (items - self.batch_flushes) / items
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-safe point-in-time view of every counter."""
         return {
@@ -115,6 +139,12 @@ class PerfCounters:
             "trace_drops": self.trace_drops,
             "hook_errors": self.hook_errors,
             "dedup_evictions": self.dedup_evictions,
+            "batch_flushes": self.batch_flushes,
+            "batched_items": self.batched_items,
+            "batch_coalesce_rate": round(self.batch_coalesce_rate, 4),
+            "nic_batch_filtered": self.nic_batch_filtered,
+            "cam_sweeps": self.cam_sweeps,
+            "cam_sweep_skips": self.cam_sweep_skips,
             "intern_hits": self.intern_hits,
             "intern_misses": self.intern_misses,
             "intern_hit_rate": round(self.intern_hit_rate, 4),
@@ -148,13 +178,19 @@ class PerfCounters:
         drops = f", trace-drops={self.trace_drops}" if self.trace_drops else ""
         if self.hook_errors:
             drops += f", hook-errors={self.hook_errors}"
+        batched = ""
+        if self.batched_items:
+            batched = (
+                f", batched-frames={self.batched_items} "
+                f"({self.batch_coalesce_rate:.0%} coalesced)"
+            )
         return (
             f"encodes={self.packet_encodes} "
             f"avoided={self.encodes_avoided} ({self.encode_memo_rate:.0%} memoized), "
             f"lazy-views={self.lazy_frames} "
             f"payload-decodes-skipped={self.lazy_decodes_skipped}, "
             f"flood-buffer-reuses={self.flood_buffer_reuses}, "
-            f"intern-hit-rate={self.intern_hit_rate:.0%}" + drops
+            f"intern-hit-rate={self.intern_hit_rate:.0%}" + batched + drops
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -21,10 +21,12 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 __all__ = [
+    "BATCH_ONLY_BENCHMARKS",
     "BENCHMARKS",
     "DEFAULT_BASELINE",
     "DEFAULT_TOLERANCE",
     "check",
+    "expected_benchmark_names",
     "load_baseline",
     "run_suite",
     "write_baseline",
@@ -32,6 +34,11 @@ __all__ = [
 
 DEFAULT_BASELINE = "BENCH_wire.json"
 DEFAULT_TOLERANCE = 0.5
+
+#: Benchmarks that only exist when event batching is enabled; ``repro
+#: bench --check --no-batch`` passes these as ``allow_missing`` so the
+#: per-frame plane can be gated on the same committed baseline.
+BATCH_ONLY_BENCHMARKS = frozenset({"broadcast_flood_deliveries"})
 
 #: Inner-loop iteration counts: full and --quick.
 _ITERS = {"full": 20_000, "quick": 2_000}
@@ -134,13 +141,44 @@ def _bench_intern_addresses() -> tuple:
     return work, len(packed)
 
 
-def _bench_broadcast_flood(quick: bool) -> float:
+def _bench_cam_lookup_batch() -> tuple:
+    from repro.l2.cam import CamTable
+
+    cam = CamTable(capacity=4096)
+    packed = [bytes([2, 0, 0, 0, i >> 8, i & 0xFF]) for i in range(256)]
+    for i, mac in enumerate(packed):
+        cam.learn_wire(mac, i % 8, now=0.0)
+
+    def work() -> None:
+        cam.lookup_batch(packed, now=1.0)
+
+    return work, len(packed)
+
+
+def _bench_nic_batch_filter() -> tuple:
+    from repro.net.addresses import MacAddress
+    from repro.sim.simulator import Simulator
+    from repro.stack.host import Host
+
+    sim = Simulator(seed=3)
+    host = Host(sim, "bench-host", mac=MacAddress("02:bb:00:00:00:01"))
+    wire = _sample_frame_bytes()  # dst 02:00:00:00:00:02 — foreign unicast
+    batch = [wire] * 64
+
+    def work() -> None:
+        host.on_frame_batch(host.nic, batch)
+
+    return work, len(batch)
+
+
+def _bench_broadcast_flood(quick: bool, batching: bool = True) -> float:
     """Headline number: end-to-end flood deliveries per second.
 
     One sender transmits unknown-unicast frames into a switched LAN; the
     switch floods each to every other port.  This exercises the whole
     stack — lazy decode at the switch, single-serialization flooding,
-    the tuple-keyed event heap, and NIC-level filtering at the hosts.
+    the tuple-keyed event heap, coalesced batch dispatch (``batching``),
+    and NIC-level filtering at the hosts.
     """
     from repro.l2.topology import Lan
     from repro.net.addresses import MacAddress
@@ -148,13 +186,16 @@ def _bench_broadcast_flood(quick: bool) -> float:
     from repro.packets.ipv4 import IpProto, Ipv4Packet
     from repro.sim.simulator import Simulator
 
-    n_hosts = 8 if quick else 24
-    frames = 100 if quick else 400
+    # Quick mode still needs wide-enough batches and a long-enough timed
+    # region to sit within tolerance of the full-mode baseline; 8 hosts
+    # puts the batched number at ~25% of it, 16 hosts at ~80%.
+    n_hosts = 16 if quick else 24
+    frames = 300 if quick else 400
     repeats = _REPEATS["quick" if quick else "full"]
 
     best = 0.0
     for _ in range(repeats):
-        sim = Simulator(seed=11)
+        sim = Simulator(seed=11, batching=batching)
         lan = Lan(sim)
         hosts = [lan.add_host(f"h{i}") for i in range(n_hosts)]
         sender = hosts[0]
@@ -186,7 +227,24 @@ BENCHMARKS: Dict[str, Callable[[], tuple]] = {
     "decode_frame_lazy_header": _bench_decode_lazy_header,
     "checksum_odd_1281B": _bench_checksum_odd,
     "intern_mac_from_wire": _bench_intern_addresses,
+    "cam_lookup_batch_wire": _bench_cam_lookup_batch,
+    "nic_batch_filter": _bench_nic_batch_filter,
 }
+
+#: The flood keys run_suite adds beyond BENCHMARKS (the batched headline
+#: is emitted only while batching is the process default).
+_FLOOD_BENCHMARKS = ("broadcast_flood_deliveries", "broadcast_flood_unbatched")
+
+
+def expected_benchmark_names() -> frozenset:
+    """Every key a full (batching-on) run of the suite produces.
+
+    The committed baseline is validated against this set: a baseline key
+    outside it means a benchmark was renamed or dropped without
+    regenerating ``BENCH_wire.json`` — which :func:`check` then reports
+    as "missing from current run" instead of silently ungating it.
+    """
+    return frozenset(BENCHMARKS) | frozenset(_FLOOD_BENCHMARKS)
 
 
 def _time_ops(work: Callable[[], None], ops_per_call: int, quick: bool) -> float:
@@ -204,12 +262,26 @@ def _time_ops(work: Callable[[], None], ops_per_call: int, quick: bool) -> float
 
 
 def run_suite(quick: bool = False) -> Dict[str, float]:
-    """Run every benchmark; returns ``{name: ops_per_sec}``."""
+    """Run every benchmark; returns ``{name: ops_per_sec}``.
+
+    The unbatched flood always runs (it gates the per-frame plane); the
+    batched headline is produced only while event batching is the
+    process default, so ``--no-batch`` runs simply lack that key and the
+    caller allows it via :data:`BATCH_ONLY_BENCHMARKS`.
+    """
+    from repro.sim.simulator import DEFAULT_BATCHING
+
     results: Dict[str, float] = {}
     for name, builder in BENCHMARKS.items():
         work, ops_per_call = builder()
         results[name] = _time_ops(work, ops_per_call, quick)
-    results["broadcast_flood_deliveries"] = _bench_broadcast_flood(quick)
+    results["broadcast_flood_unbatched"] = _bench_broadcast_flood(
+        quick, batching=False
+    )
+    if DEFAULT_BATCHING:
+        results["broadcast_flood_deliveries"] = _bench_broadcast_flood(
+            quick, batching=True
+        )
     return results
 
 
@@ -237,18 +309,22 @@ def check(
     results: Dict[str, float],
     baseline: Dict[str, float],
     tolerance: float = DEFAULT_TOLERANCE,
+    allow_missing: frozenset = frozenset(),
 ) -> List[str]:
     """Compare ``results`` to ``baseline``; returns failure messages.
 
     A benchmark fails when it is missing from ``results`` or its
     throughput fell below ``baseline * tolerance``.  Benchmarks present
-    only in ``results`` (newly added, no baseline yet) pass.
+    only in ``results`` (newly added, no baseline yet) pass.  Baseline
+    keys in ``allow_missing`` may be absent from ``results`` without
+    failing — how ``--no-batch`` runs skip the batch-only headline.
     """
     failures: List[str] = []
     for name, base_ops in sorted(baseline.items()):
         current = results.get(name)
         if current is None:
-            failures.append(f"{name}: missing from current run")
+            if name not in allow_missing:
+                failures.append(f"{name}: missing from current run")
             continue
         floor = base_ops * tolerance
         if current < floor:

@@ -15,6 +15,15 @@ cancelled entries outnumber live ones (see :meth:`Event.cancel`), so
 long-running simulations that arm and cancel many timers (ARP retries,
 cache aging) do not leak.
 
+Same-timestamp deliveries to one sink can additionally be *coalesced*
+(:meth:`Simulator.coalesce`): all items landing on the same ``(time,
+sink)`` pair share one flush event that hands ``sink.deliver_batch`` the
+whole batch at once, instead of one event per frame.  This is the batched
+data plane's entry point; per-event dispatch remains the fallback
+(``batching=False``), and both paths compute identical delivery
+timestamps from the same expressions, so fixed-seed runs stay
+reproducible either way.
+
 Example
 -------
 >>> sim = Simulator(seed=7)
@@ -33,16 +42,22 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import ClockError, SimulationError
 from repro.obs.trace import TRACER
+from repro.perf import PERF
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "Simulator", "DEFAULT_BATCHING"]
 
 #: Compaction never triggers below this many cancelled entries — tiny heaps
 #: are cheaper to skip through than to rebuild.
 _COMPACT_MIN_CANCELLED = 64
+
+#: Process-wide default for :class:`Simulator` batching.  ``repro bench
+#: --no-batch`` (and the CI batch-off smoke job) flip this to prove the
+#: per-event fallback path still works and still meets its own gate.
+DEFAULT_BATCHING = True
 
 
 class Event:
@@ -99,7 +114,7 @@ class Simulator:
         perturb the draws seen by existing ones.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, batching: Optional[bool] = None) -> None:
         self._now = 0.0
         #: Heap of ``(time, seq, Event)`` — tuple keys keep comparisons in C.
         self._heap: list[tuple[float, int, Event]] = []
@@ -109,6 +124,14 @@ class Simulator:
         self._cancelled_in_heap = 0
         self.events_processed = 0
         self.heap_compactions = 0
+        #: Same-timestamp event coalescing (the batched data plane).
+        #: ``None`` inherits the process default so the batch-off smoke
+        #: path (``repro bench --no-batch``) needs no per-site plumbing.
+        self.batching = DEFAULT_BATCHING if batching is None else batching
+        #: Open coalesced batches: ``(when, sink) -> item list``.  The
+        #: list is aliased by the flush event scheduled at first insert,
+        #: so later same-instant items ride along for free.
+        self._open_batches: dict = {}
         if TRACER.enabled:
             # The most recently built simulator owns the trace clock, so
             # span timestamps are simulated seconds (deterministic per
@@ -172,6 +195,80 @@ class Simulator:
         event = Event(time=when, seq=seq, action=action, name=name, sim=self)
         heapq.heappush(self._heap, (when, seq, event))
         return event
+
+    # ------------------------------------------------------------------
+    # Same-timestamp coalescing (the batched data plane)
+    # ------------------------------------------------------------------
+    def coalesce(
+        self,
+        delay: float,
+        sink,
+        item,
+        name: str = "link.carry",
+    ) -> None:
+        """Append ``item`` to the batch delivered to ``sink`` at ``now+delay``.
+
+        All items coalesced onto the same ``(time, sink)`` pair are handed
+        to ``sink.deliver_batch(items)`` by a single flush event, scheduled
+        with the sequence number of the batch's *first* item — so a batch
+        fires exactly where its first frame would have, and items keep
+        their arrival order inside the batch.  Per-item dispatch
+        (:meth:`schedule`) remains the fallback when :attr:`batching` is
+        off; delivery timestamps are computed identically on both paths.
+        """
+        if delay < 0:
+            raise ClockError(f"cannot schedule into the past (delay={delay})")
+        when = self._now + delay
+        key = (when, sink)
+        open_batches = self._open_batches
+        items = open_batches.get(key)
+        if items is not None:
+            items.append(item)
+            return
+        items = [item]
+        open_batches[key] = items
+
+        def flush() -> None:
+            del open_batches[key]
+            PERF.batch_flushes += 1
+            PERF.batched_items += len(items)
+            sink.deliver_batch(items)
+
+        seq = next(self._counter)
+        event = Event(time=when, seq=seq, action=flush, name=name, sim=self)
+        heapq.heappush(self._heap, (when, seq, event))
+
+    def coalesce_many(
+        self,
+        delay: float,
+        sink,
+        new_items: Sequence,
+        name: str = "link.carry",
+    ) -> None:
+        """Bulk :meth:`coalesce` — one accumulator probe for many items."""
+        if not new_items:
+            return
+        if delay < 0:
+            raise ClockError(f"cannot schedule into the past (delay={delay})")
+        when = self._now + delay
+        key = (when, sink)
+        open_batches = self._open_batches
+        items = open_batches.get(key)
+        if items is not None:
+            items.extend(new_items)
+            return
+        items = list(new_items)
+        open_batches[key] = items
+
+        def flush() -> None:
+            del open_batches[key]
+            PERF.batch_flushes += 1
+            PERF.batched_items += len(items)
+            sink.deliver_batch(items)
+
+        seq = next(self._counter)
+        event = Event(time=when, seq=seq, action=flush, name=name, sim=self)
+        heapq.heappush(self._heap, (when, seq, event))
 
     def call_every(
         self,
@@ -244,6 +341,17 @@ class Simulator:
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
+    def _fire(self, event: Event) -> None:
+        """Dispatch one live event — the single code path for traced and
+        untraced dispatch, shared by :meth:`step` and :meth:`run` so
+        single-stepped tests produce the same ``sim.event`` spans a full
+        run does."""
+        if TRACER.enabled and event.name:
+            with TRACER.span("sim.event", event=event.name):
+                event.action()
+        else:
+            event.action()
+
     def step(self) -> bool:
         """Process the next pending event; return ``False`` when idle."""
         heap = self._heap
@@ -256,7 +364,7 @@ class Simulator:
                 raise ClockError("event heap yielded an event in the past")
             self._now = when
             self.events_processed += 1
-            event.action()
+            self._fire(event)
             return True
         return False
 
@@ -277,7 +385,7 @@ class Simulator:
             heap = self._heap  # safe: _compact() rebuilds it in place
             pop = heapq.heappop
             limit = self.events_processed + max_events
-            tracer = TRACER
+            fire = self._fire
             while heap:
                 when, _seq, event = heap[0]
                 if event.cancelled:
@@ -291,11 +399,7 @@ class Simulator:
                 event._sim = None
                 self._now = when
                 self.events_processed += 1
-                if tracer.enabled and event.name:
-                    with tracer.span("sim.event", event=event.name):
-                        event.action()
-                else:
-                    event.action()
+                fire(event)
                 if self.events_processed > limit:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway schedule?"

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CodecError, StackError
 from repro.hooks import HookPoint, Pipeline
@@ -36,6 +36,7 @@ from repro.net.addresses import (
     MacAddress,
 )
 from repro.obs.trace import TRACER
+from repro.perf import PERF
 from repro.packets.arp import ArpOp, ArpPacket
 from repro.packets.ethernet import EtherType, EthernetFrame
 from repro.packets.icmp import IcmpMessage, IcmpType
@@ -237,6 +238,32 @@ class Host(Device):
                 tracer.current_frame = previous
         else:
             self._frame_dispatch(frame, data)
+
+    def on_frame_batch(self, port: Port, datas: Sequence[bytes]) -> None:
+        """Vectorized NIC receive: filter the whole batch, then unroll.
+
+        A non-promiscuous, untapped NIC compares destination MAC slices
+        across every frame in the batch in one comprehension — foreign
+        unicast never produces a frame view, a capture record, or even a
+        per-frame Python call.  Anything that makes the NIC see
+        everything (taps, promiscuous mode, tracing) falls back to the
+        exact per-frame path.
+        """
+        if self.frame_taps.hooks or self.promiscuous or TRACER.enabled:
+            on_frame = self.on_frame
+            for data in datas:
+                on_frame(port, data)
+            return
+        mine = self.mac.packed
+        survivors = [
+            d for d in datas if len(d) < 14 or d[0] & 1 or d[:6] == mine
+        ]
+        PERF.nic_batch_filtered += len(datas) - len(survivors)
+        if not survivors:
+            return
+        on_frame = self.on_frame
+        for data in survivors:
+            on_frame(port, data)
 
     def _frame_dispatch(self, frame: EthernetFrame, data: bytes) -> None:
         if self.frame_taps.hooks:
