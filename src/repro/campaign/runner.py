@@ -19,19 +19,35 @@ the campaign's aggregates.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.campaign.cache import ResultCache
-from repro.campaign.spec import CampaignSpec, CampaignTask, execute_task
+from repro.campaign.spec import CampaignSpec, CampaignTask, canonical_params, execute_task
 from repro.errors import CampaignError
+from repro.obs import live
 from repro.obs.registry import REGISTRY
+from repro.obs.watchdog import (
+    DEFAULT_BEAT_INTERVAL,
+    DEFAULT_STALL_AFTER,
+    HEARTBEAT_SUFFIX,
+    Heartbeat,
+    Watchdog,
+    WorkerHealth,
+)
 
 __all__ = ["TaskFailure", "CampaignResult", "run_campaign"]
+
+#: Event cadence of the beacon-only recorder installed in heartbeating
+#: workers that have no recorder of their own — frequent enough that the
+#: beacon tracks sim progress between heartbeats, cheap enough to ignore.
+_BEACON_CADENCE_EVENTS = 2_000
 
 #: Signature of the unit of work: task in, JSON-safe result dict out.
 Executor = Callable[[CampaignTask], Dict[str, object]]
@@ -60,6 +76,12 @@ class CampaignResult:
     #: Worker metric snapshots folded into the parent registry (parallel
     #: runs only — in-process execution already counts into the parent).
     worker_metrics_merged: int = 0
+    #: Stall episodes the run-health watchdog counted (heartbeat runs).
+    worker_stalls: int = 0
+    #: Where heartbeat files were written, or ``None`` (watchdog off).
+    heartbeat_dir: Optional[str] = None
+    #: Final watchdog scan — per-worker liveness at campaign end.
+    worker_health: Tuple[WorkerHealth, ...] = ()
 
     @property
     def total_tasks(self) -> int:
@@ -84,8 +106,51 @@ class CampaignResult:
         return out
 
 
-def _worker_entry(executor: Executor, task: CampaignTask, conn) -> None:
+def _task_label(task: CampaignTask) -> str:
+    return f"{task.scheme_label} {canonical_params(task.variant)} trial={task.trial}"
+
+
+def _start_worker_heartbeat(
+    task: CampaignTask, heartbeat_path, heartbeat_interval: float
+) -> Optional[Heartbeat]:
+    """Heartbeat + beacon telemetry for one worker (or the serial loop).
+
+    The beacon only advances while a telemetry recorder ticks it, so a
+    worker without one gets a ring-only recorder installed — that is
+    what lets the parent watchdog tell "making sim progress" apart from
+    "heartbeat thread alive, main thread wedged".
+    """
+    if live.default_recorder() is None:
+        live.install(
+            live.TelemetryRecorder(
+                cadence_events=_BEACON_CADENCE_EVENTS,
+                capacity=8,
+                include_metrics=False,
+            )
+        )
+    label = _task_label(task)
+    heartbeat = Heartbeat(
+        heartbeat_path,
+        interval=heartbeat_interval,
+        payload=lambda: {"task": label},
+    )
+    try:
+        return heartbeat.start()
+    except OSError:  # pragma: no cover - heartbeat dir vanished
+        return None
+
+
+def _worker_entry(
+    executor: Executor,
+    task: CampaignTask,
+    conn,
+    heartbeat_path=None,
+    heartbeat_interval: float = DEFAULT_BEAT_INTERVAL,
+) -> None:
     """Body of one worker process: run the task, send one message back."""
+    heartbeat = None
+    if heartbeat_path is not None:
+        heartbeat = _start_worker_heartbeat(task, heartbeat_path, heartbeat_interval)
     try:
         payload = executor(task)
         conn.send(("ok", payload))
@@ -95,6 +160,11 @@ def _worker_entry(executor: Executor, task: CampaignTask, conn) -> None:
         except Exception:  # pragma: no cover - broken pipe during shutdown
             pass
     finally:
+        if heartbeat is not None:
+            try:
+                heartbeat.stop()
+            except Exception:  # pragma: no cover - never mask the result
+                pass
         try:
             conn.close()
         except Exception:  # pragma: no cover
@@ -145,9 +215,13 @@ def _run_parallel(
     ctx,
     record_ok: Callable[[CampaignTask, Dict[str, object]], None],
     record_fail: Callable[[CampaignTask, str, int], None],
+    heartbeat_dir: Optional[Path] = None,
+    heartbeat_interval: float = DEFAULT_BEAT_INTERVAL,
+    watchdog: Optional[Watchdog] = None,
 ) -> None:
     pending = deque((task, 1) for task in tasks)
-    running: Dict[object, Tuple[object, CampaignTask, float, int]] = {}
+    running: Dict[object, Tuple[object, CampaignTask, float, int, Optional[Path]]] = {}
+    launches = itertools.count(1)
 
     def finish(task: CampaignTask, attempt: int, error: str) -> None:
         if attempt <= retries:
@@ -158,27 +232,30 @@ def _run_parallel(
     while pending or running:
         while pending and len(running) < jobs:
             task, attempt = pending.popleft()
+            hb_path = None
+            if heartbeat_dir is not None:
+                hb_path = heartbeat_dir / f"worker-{next(launches)}{HEARTBEAT_SUFFIX}"
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_worker_entry,
-                args=(executor, task, child_conn),
+                args=(executor, task, child_conn, hb_path, heartbeat_interval),
                 daemon=True,
                 name=f"campaign-worker-{task.trial}",
             )
             proc.start()
             child_conn.close()
             deadline = time.monotonic() + task_timeout
-            running[parent_conn] = (proc, task, deadline, attempt)
+            running[parent_conn] = (proc, task, deadline, attempt, hb_path)
 
         if not running:
             continue
         now = time.monotonic()
-        next_deadline = min(deadline for _, _, deadline, _ in running.values())
+        next_deadline = min(deadline for _, _, deadline, _, _ in running.values())
         wait_for = max(0.0, min(0.25, next_deadline - now))
         ready = connection_wait(list(running), timeout=wait_for)
 
         for conn in ready:
-            proc, task, _, attempt = running.pop(conn)
+            proc, task, _, attempt, _hb = running.pop(conn)
             try:
                 status, payload = conn.recv()
             except (EOFError, OSError):
@@ -195,14 +272,26 @@ def _run_parallel(
 
         now = time.monotonic()
         for conn in [c for c, v in running.items() if v[2] <= now]:
-            proc, task, _, attempt = running.pop(conn)
+            proc, task, _, attempt, hb_path = running.pop(conn)
             proc.terminate()
             proc.join(1.0)
             if proc.is_alive():  # pragma: no cover - terminate() sufficed
                 proc.kill()
                 proc.join()
             conn.close()
+            if hb_path is not None:
+                # The worker died without saying goodbye; remove its file
+                # so the watchdog does not keep grading a corpse "stale".
+                try:
+                    hb_path.unlink()
+                except OSError:
+                    pass
             finish(task, attempt, f"timed out after {task_timeout:.1f}s")
+
+        if watchdog is not None:
+            # Every <=0.25s wakeup: grade the heartbeat files so stall
+            # episodes are counted while they happen, not post-mortem.
+            watchdog.scan()
 
 
 def run_campaign(
@@ -212,6 +301,9 @@ def run_campaign(
     retries: int = 1,
     task_timeout: float = 300.0,
     executor: Executor = execute_task,
+    heartbeat_dir: Union[str, Path, None] = None,
+    heartbeat_interval: float = DEFAULT_BEAT_INTERVAL,
+    stall_after: float = DEFAULT_STALL_AFTER,
 ) -> CampaignResult:
     """Execute every task of ``spec`` and collect the results.
 
@@ -231,6 +323,17 @@ def run_campaign(
         (an in-process task cannot be safely interrupted).
     executor:
         The unit of work; overridable for tests and custom experiments.
+    heartbeat_dir:
+        When given, enables the run-health watchdog: every worker (or
+        the serial loop) writes heartbeat files there, the parent grades
+        them each scheduler wakeup, and the result carries
+        ``worker_stalls`` / ``worker_health``.  ``None`` (the default)
+        keeps the whole machinery off.
+    heartbeat_interval:
+        Seconds between heartbeat writes.
+    stall_after:
+        Seconds of frozen heartbeat (or frozen sim-clock beacon) before
+        a worker is graded stalled.
     """
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
@@ -259,6 +362,14 @@ def run_campaign(
     ctx = _fork_context()
     parallel = bool(to_run) and jobs > 1 and len(to_run) > 1 and ctx is not None
 
+    hb_dir: Optional[Path] = None
+    watchdog: Optional[Watchdog] = None
+    if heartbeat_dir is not None:
+        hb_dir = Path(heartbeat_dir)
+        hb_dir.mkdir(parents=True, exist_ok=True)
+        watchdog = Watchdog(hb_dir, stall_after=stall_after)
+        result.heartbeat_dir = str(hb_dir)
+
     def record_ok(task: CampaignTask, payload: Dict[str, object]) -> None:
         # The _obs section is transport, not result: strip it before the
         # payload is stored or cached.  Merge it into the parent registry
@@ -279,7 +390,15 @@ def run_campaign(
 
     if to_run:
         if not parallel:
-            _run_serial(to_run, executor, retries, record_ok, record_fail)
+            _run_serial_with_heartbeat(
+                to_run,
+                executor,
+                retries,
+                record_ok,
+                record_fail,
+                hb_dir,
+                heartbeat_interval,
+            )
         else:
             _run_parallel(
                 to_run,
@@ -290,8 +409,58 @@ def run_campaign(
                 ctx,
                 record_ok,
                 record_fail,
+                heartbeat_dir=hb_dir,
+                heartbeat_interval=heartbeat_interval,
+                watchdog=watchdog,
             )
 
+    if watchdog is not None:
+        result.worker_health = tuple(watchdog.scan())
+        result.worker_stalls = watchdog.stall_episodes
     result.failures = tuple(failures)
     result.elapsed = time.monotonic() - started
     return result
+
+
+def _run_serial_with_heartbeat(
+    tasks: List[CampaignTask],
+    executor: Executor,
+    retries: int,
+    record_ok: Callable[[CampaignTask, Dict[str, object]], None],
+    record_fail: Callable[[CampaignTask, str, int], None],
+    hb_dir: Optional[Path],
+    heartbeat_interval: float,
+) -> None:
+    """Serial execution, optionally under one long-lived heartbeat.
+
+    The in-process loop gets a single ``campaign-serial`` heartbeat whose
+    payload tracks the task currently running, plus a beacon recorder if
+    none is installed — so ``repro top`` works on serial runs too.
+    """
+    if hb_dir is None:
+        _run_serial(tasks, executor, retries, record_ok, record_fail)
+        return
+    current: Dict[str, Optional[str]] = {"task": None}
+
+    def labeled(task: CampaignTask) -> Dict[str, object]:
+        current["task"] = _task_label(task)
+        return executor(task)
+
+    beacon_recorder = None
+    if live.default_recorder() is None:
+        beacon_recorder = live.TelemetryRecorder(
+            cadence_events=_BEACON_CADENCE_EVENTS, capacity=8, include_metrics=False
+        )
+        live.install(beacon_recorder)
+    heartbeat = Heartbeat(
+        hb_dir / f"campaign-serial{HEARTBEAT_SUFFIX}",
+        interval=heartbeat_interval,
+        payload=lambda: {"task": current["task"]},
+    )
+    heartbeat.start()
+    try:
+        _run_serial(tasks, labeled, retries, record_ok, record_fail)
+    finally:
+        heartbeat.stop()
+        if beacon_recorder is not None and live.default_recorder() is beacon_recorder:
+            live.uninstall()

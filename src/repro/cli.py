@@ -23,6 +23,13 @@ Commands
 ``metrics``
     Run one fixed-seed experiment and dump the metrics registry in
     Prometheus text (or JSON snapshot) form.
+``profile``
+    Run one experiment under the sampling wall-clock profiler and
+    export collapsed stacks (flamegraph.pl / speedscope input) with
+    per-subsystem attribution.
+``top``
+    Live per-worker progress view over the heartbeat files a campaign
+    writes when the run-health watchdog is enabled.
 """
 
 from __future__ import annotations
@@ -173,6 +180,27 @@ def build_parser() -> argparse.ArgumentParser:
              "(per-cell detection-latency histograms, alert totals, and "
              "worker perf counters) to PATH",
     )
+    camp.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="stream a live JSONL time series (sim progress, per-window "
+             "perf/metrics deltas) to PATH while the campaign runs",
+    )
+    camp.add_argument(
+        "--telemetry-cadence", type=int, default=2000, metavar="N",
+        help="snapshot every N simulator events (default: 2000)",
+    )
+    camp.add_argument(
+        "--heartbeat-dir", default=None, metavar="DIR",
+        help="enable the run-health watchdog: workers write heartbeat "
+             "files to DIR, stalls are counted and reported (default: "
+             "<cache-dir>/heartbeats when --jobs > 1 and caching is on, "
+             "else off)",
+    )
+    camp.add_argument(
+        "--stall-after", type=float, default=10.0, metavar="SECS",
+        help="seconds of frozen heartbeat or sim-clock before a worker "
+             "is graded stalled (default: 10)",
+    )
 
     def _obs_experiment_args(p) -> None:
         p.add_argument(
@@ -217,6 +245,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default="prometheus", choices=["prometheus", "json"],
         help="Prometheus text exposition or raw JSON snapshot "
              "(default: prometheus)",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="run one poisoning experiment under the sampling wall-clock "
+             "profiler and export collapsed stacks (flamegraph input)",
+    )
+    _obs_experiment_args(prof)
+    prof.add_argument(
+        "--interval", type=float, default=0.002, metavar="SECS",
+        help="sampling interval in seconds (default: 0.002)",
+    )
+    prof.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the experiment N times under one profiler session "
+             "(more samples, default: 1)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live per-worker progress view over campaign heartbeat files",
+    )
+    top.add_argument(
+        "--heartbeat-dir", default=".repro_cache/heartbeats", metavar="DIR",
+        help="directory the campaign writes heartbeats to "
+             "(default: .repro_cache/heartbeats)",
+    )
+    top.add_argument(
+        "--stall-after", type=float, default=10.0, metavar="SECS",
+        help="grade a worker stalled after this long without progress",
+    )
+    top.add_argument(
+        "--watch", type=float, default=None, metavar="SECS",
+        help="refresh every SECS seconds instead of printing once",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="with --watch: stop after N refreshes (default: forever)",
     )
 
     rec = sub.add_parser(
@@ -350,13 +416,41 @@ def _cmd_campaign(args, out) -> int:
         faults=tuple(args.faults) if args.faults else (None,),
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    campaign = run_campaign(
-        spec,
-        jobs=args.jobs,
-        cache=cache,
-        retries=args.retries,
-        task_timeout=args.timeout,
-    )
+
+    # Parallel runs get the watchdog by default, living inside the cache
+    # directory; --no-cache promises to leave no droppings behind, so
+    # there heartbeats stay opt-in via an explicit --heartbeat-dir.
+    heartbeat_dir = args.heartbeat_dir
+    if heartbeat_dir is None and args.jobs > 1 and not args.no_cache:
+        from pathlib import Path
+
+        heartbeat_dir = str(Path(args.cache_dir) / "heartbeats")
+
+    telemetry = None
+    previous_recorder = None
+    if args.telemetry_out:
+        from repro.obs import live
+
+        telemetry = live.TelemetryRecorder(
+            cadence_events=args.telemetry_cadence, out=args.telemetry_out
+        )
+        previous_recorder = live.install(telemetry)
+    try:
+        campaign = run_campaign(
+            spec,
+            jobs=args.jobs,
+            cache=cache,
+            retries=args.retries,
+            task_timeout=args.timeout,
+            heartbeat_dir=heartbeat_dir,
+            stall_after=args.stall_after,
+        )
+    finally:
+        if telemetry is not None:
+            from repro.obs import live
+
+            live.install(previous_recorder)
+            telemetry.close()
     artifact = to_artifact(campaign)
     out.write((artifact.csv if args.csv else artifact.rendered) + "\n")
     out.write(
@@ -378,6 +472,33 @@ def _cmd_campaign(args, out) -> int:
     else:
         scope = "coordinator only"
     out.write(f"# perf ({scope}): {PERF.summary()}\n")
+    if telemetry is not None:
+        from pathlib import Path
+
+        # Count lines in the file, not telemetry.written: with --jobs > 1
+        # fork-workers wrote their own interleaved series to the same path.
+        path = Path(args.telemetry_out)
+        snapshots = (
+            sum(1 for line in path.read_text().splitlines() if line.strip())
+            if path.exists()
+            else 0
+        )
+        out.write(
+            f"# telemetry: {snapshots} snapshots in {args.telemetry_out} "
+            f"(cadence {args.telemetry_cadence} events)\n"
+        )
+    if campaign.heartbeat_dir is not None:
+        from collections import Counter as _Counter
+
+        states = _Counter(h.state for h in campaign.worker_health)
+        state_text = (
+            " ".join(f"{k}={v}" for k, v in sorted(states.items())) or "none"
+        )
+        out.write(
+            f"# watchdog: {len(campaign.worker_health)} workers ({state_text}), "
+            f"{campaign.worker_stalls} stall episodes "
+            f"(watchdog_stalls_total), heartbeats in {campaign.heartbeat_dir}\n"
+        )
     if args.metrics_out:
         from pathlib import Path
 
@@ -428,9 +549,11 @@ def _cmd_trace(args, out) -> int:
     import json
 
     from repro.obs import TRACER, to_chrome_trace, to_jsonl
+    from repro.perf import PERF
 
     TRACER.reset()
     TRACER.enable()
+    capture_drops_before = PERF.trace_drops
     try:
         result = api.run(
             "effectiveness",
@@ -440,6 +563,7 @@ def _cmd_trace(args, out) -> int:
         )
     finally:
         TRACER.disable()
+    capture_drops = PERF.trace_drops - capture_drops_before
 
     events = list(TRACER.events)
     provenance = TRACER.provenance
@@ -456,8 +580,10 @@ def _cmd_trace(args, out) -> int:
     else:
         text = to_jsonl(events)
     summary = [
-        f"# trace: {len(events)} events ({TRACER.dropped} dropped), "
-        f"{len(provenance)} frames tracked",
+        f"# trace: {len(events)} events ({TRACER.dropped} span-ring dropped), "
+        f"{len(provenance)} frames tracked, "
+        f"{capture_drops} frame-capture dropped "
+        f"(PERF.trace_drops={PERF.trace_drops})",
         f"# alerts: {len(alerts)} raised, {resolved} with provenance "
         f"resolving to an attack injection",
         f"# outcome: scheme={args.scheme} technique={args.technique} "
@@ -489,6 +615,70 @@ def _cmd_metrics(args, out) -> int:
          f"{len(snapshot['collectors'])} collector blocks"],
     )
     return 0
+
+
+def _cmd_profile(args, out) -> int:
+    from repro.obs.profiler import SamplingProfiler
+
+    profiler = SamplingProfiler(interval=args.interval)
+    profiler.start()
+    try:
+        for _ in range(max(1, args.repeat)):
+            result = api.run(
+                "effectiveness",
+                _obs_scenario(args),
+                scheme=args.scheme,
+                technique=args.technique,
+            )
+    finally:
+        profiler.stop()
+
+    attribution = ", ".join(
+        f"{name} {share:.1%}" for name, share in profiler.attribution().items()
+    )
+    summary = [
+        f"# profile: {profiler.sample_count} samples at "
+        f"{args.interval * 1000:.1f}ms interval over "
+        f"{max(1, args.repeat)} run(s)",
+        f"# subsystems: {attribution or 'none'}",
+        f"# attributed: {profiler.attributed_fraction():.1%} of samples "
+        f"to named subsystems",
+        f"# outcome: scheme={args.scheme} technique={args.technique} "
+        f"{result.outcome}",
+    ]
+    _write_artifact(args, out, profiler.collapsed(), summary)
+    if not args.out:
+        for line in summary:
+            out.write(line + "\n")
+    return 0
+
+
+def _cmd_top(args, out) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from repro.obs.watchdog import Watchdog, render_health
+
+    directory = Path(args.heartbeat_dir)
+    watchdog = Watchdog(directory, stall_after=args.stall_after)
+    iteration = 0
+    while True:
+        healths = watchdog.scan()
+        if not directory.is_dir():
+            out.write(f"# no heartbeat directory at {directory}\n")
+            return 1
+        out.write(render_health(healths) + "\n")
+        out.write(
+            f"# watchdog: {len(healths)} workers, "
+            f"{watchdog.stall_episodes} stall episodes\n"
+        )
+        iteration += 1
+        if args.watch is None:
+            return 0
+        if args.iterations is not None and iteration >= args.iterations:
+            return 0
+        _time.sleep(args.watch)
+        out.write("\n")
 
 
 def _cmd_bench(args, out) -> int:
@@ -662,6 +852,10 @@ def main(argv: Optional[list[str]] = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "metrics":
         return _cmd_metrics(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
+    if args.command == "top":
+        return _cmd_top(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     if args.command == "analyze":

@@ -31,6 +31,8 @@ from repro.core import experiment as _exp
 from repro.core.experiment import ScenarioConfig, SerializableResult
 from repro.errors import ExperimentError, FaultError
 from repro.faults import FaultSpec, parse_fault_spec
+from repro.obs import live as _live
+from repro.obs.live import TelemetryRecorder
 
 __all__ = ["Kind", "KINDS", "run", "normalize_kind"]
 
@@ -161,6 +163,7 @@ def run(
     scheme: Optional[str] = None,
     faults: Union[str, FaultSpec, None] = None,
     scheme_kwargs: Optional[Mapping[str, object]] = None,
+    telemetry: Optional["TelemetryRecorder"] = None,
     **params,
 ) -> SerializableResult:
     """Run one experiment ``kind`` and return its frozen result.
@@ -180,6 +183,11 @@ def run(
         folded into ``config.fault_spec`` (serialized verbatim).
     scheme_kwargs:
         Keyword arguments forwarded to the scheme factory.
+    telemetry:
+        Optional :class:`~repro.obs.live.TelemetryRecorder` installed as
+        the process default for the duration of this call, so the
+        simulators the kind builds internally attach it and stream a
+        live time series of the run.
     **params:
         Kind-specific parameters, validated against ``KINDS[kind].params``.
     """
@@ -212,4 +220,7 @@ def run(
             f"{spec.name}: scheme_kwargs collide with parameters: {sorted(overlap)}"
         )
     config = _fold_faults(config, faults)
-    return spec.runner(scheme, config=config, **params, **extra)
+    if telemetry is None:
+        return spec.runner(scheme, config=config, **params, **extra)
+    with _live.session(telemetry):
+        return spec.runner(scheme, config=config, **params, **extra)

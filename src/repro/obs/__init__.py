@@ -29,6 +29,8 @@ from repro.obs.export import (
     to_jsonl,
     to_prometheus,
 )
+from repro.obs.live import BEACON, TelemetryRecorder
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.provenance import FrameRecord, Provenance
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
@@ -40,20 +42,27 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.trace import DEFAULT_CAPACITY, TRACER, ObsEvent, Tracer
+from repro.obs.watchdog import Heartbeat, Watchdog, WorkerHealth
 from repro.perf import PERF
 
 __all__ = [
+    "BEACON",
     "REGISTRY",
     "TRACER",
     "Counter",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "SamplingProfiler",
+    "TelemetryRecorder",
     "Tracer",
     "ObsEvent",
     "Provenance",
     "FrameRecord",
+    "Watchdog",
+    "WorkerHealth",
     "DEFAULT_BUCKETS",
     "DEFAULT_CAPACITY",
     "to_chrome_trace",
@@ -67,3 +76,36 @@ __all__ = [
 # wire-fast-path counters, and merging a worker snapshot folds its perf
 # deltas into this process's PERF.  register_collector is idempotent.
 REGISTRY.register_collector("perf", PERF.snapshot, PERF.absorb)
+
+#: The PR 7 batch-plane counters, re-exported as one labeled counter
+#: family so ``repro metrics`` emits them as
+#: ``batch_plane_ops_total{op="cam_sweeps"}`` instead of burying them in
+#: the flat perf collector block.
+_BATCH_PLANE_OPS = (
+    "batch_flushes",
+    "batched_items",
+    "cam_sweeps",
+    "cam_sweep_skips",
+    "nic_batch_filtered",
+)
+
+
+def _sync_batch_plane() -> None:
+    """Mirror PERF's batch-plane attributes into a labeled family.
+
+    Runs before every registry snapshot (see ``register_sync``).  Mirror
+    semantics — child values are *set* from PERF, not incremented — keep
+    the family correct even after a worker snapshot was merged twice
+    (PERF.absorb already folded the worker delta; the next sync
+    overwrites any double-add).
+    """
+    family = REGISTRY.counter(
+        "batch_plane_ops_total",
+        "Batched data-plane operations (mirrored from repro.perf.PERF)",
+        labels=("op",),
+    )
+    for op in _BATCH_PLANE_OPS:
+        family.labels(op=op).value = float(getattr(PERF, op))
+
+
+REGISTRY.register_sync("batch_plane", _sync_batch_plane)

@@ -1,0 +1,275 @@
+"""Run-health watchdog: heartbeat files, stall detection, liveness views.
+
+Long campaigns run work in fork-children the parent can only see through
+a pipe — a worker spinning in an event-loop livelock looks identical to
+one making slow progress.  This module gives every worker a *heartbeat
+file* and the parent a *watchdog* that reads them:
+
+* :class:`Heartbeat` — a daemon thread that atomically rewrites one JSON
+  file every ``interval`` seconds with the worker's pid, a beat sequence
+  number, wall-clock time, and the :data:`repro.obs.live.BEACON` progress
+  block (sim-clock, events fired).  Atomic tmp + ``os.replace`` writes
+  mean a reader never sees a torn file.
+* :class:`Watchdog` — scans a directory of heartbeat files and grades
+  each worker ``live`` / ``stalled`` / ``stale`` / ``done``:
+
+  - ``stale``: the file itself stopped updating (the whole process is
+    gone or wedged hard enough to starve its heartbeat thread);
+  - ``stalled``: the heartbeat thread still beats but the beacon's
+    event counter has not advanced within ``stall_after`` seconds — the
+    sim-clock-stall case where the main thread hangs in one event;
+  - ``done``: the worker said goodbye (:meth:`Heartbeat.stop`).
+
+  Healthy→unhealthy transitions count into the
+  ``watchdog_stalls_total{worker=...}`` registry counter, which `repro
+  campaign` surfaces and `repro top` renders live.
+
+The watchdog never *acts* on a stall — the campaign runner already owns
+timeouts and termination; this layer only makes the state visible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ObsError
+from repro.obs.live import BEACON
+from repro.obs.registry import REGISTRY
+
+__all__ = [
+    "DEFAULT_BEAT_INTERVAL",
+    "DEFAULT_STALL_AFTER",
+    "HEARTBEAT_SUFFIX",
+    "Heartbeat",
+    "Watchdog",
+    "WorkerHealth",
+    "render_health",
+]
+
+HEARTBEAT_SUFFIX = ".hb.json"
+DEFAULT_BEAT_INTERVAL = 0.5
+DEFAULT_STALL_AFTER = 10.0
+
+
+class Heartbeat:
+    """Periodic liveness file for one worker (or the serial coordinator).
+
+    ``payload`` — when given — is called at each beat and its dict merged
+    into the record (campaign workers use it to publish their current
+    task label); a failing payload provider marks the record instead of
+    killing the beat thread.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        interval: float = DEFAULT_BEAT_INTERVAL,
+        name: Optional[str] = None,
+        payload: Optional[Callable[[], Dict[str, object]]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval <= 0:
+            raise ObsError(f"interval must be positive, got {interval}")
+        self.path = Path(path)
+        self.interval = interval
+        base = self.path.name
+        if base.endswith(HEARTBEAT_SUFFIX):
+            base = base[: -len(HEARTBEAT_SUFFIX)]
+        self.name = name if name is not None else base
+        self.beats = 0
+        self._payload = payload
+        self._clock = clock
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def beat(self, done: bool = False) -> Dict[str, object]:
+        """Write one heartbeat record atomically; returns what was written."""
+        extra: Dict[str, object] = {}
+        if self._payload is not None:
+            try:
+                extra = dict(self._payload() or {})
+            except Exception:  # noqa: BLE001 - liveness must outlive its payload
+                extra = {"payload_error": True}
+        pid = os.getpid()
+        record: Dict[str, object] = {
+            "name": self.name,
+            "pid": pid,
+            "wall": self._clock(),
+            "seq": self.beats,
+            "done": bool(done),
+            # Only trust the beacon when it was written by this process —
+            # a fork-child inherits the parent's beacon until its own
+            # telemetry first ticks.
+            "beacon": BEACON.snapshot() if BEACON.pid == pid else None,
+            **extra,
+        }
+        tmp = self.path.with_name(f"{self.path.name}.tmp{pid}")
+        tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+        self.beats += 1
+        return record
+
+    def start(self) -> "Heartbeat":
+        if self._thread is not None:
+            raise ObsError(f"heartbeat {self.name!r} already started")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stop.clear()
+        self.beat()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-heartbeat-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.beat()
+            except OSError:  # pragma: no cover - heartbeat dir removed
+                return
+
+    def stop(self, done: bool = True) -> None:
+        """Join the beat thread and leave a final (``done``) record."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        try:
+            self.beat(done=done)
+        except OSError:  # pragma: no cover - heartbeat dir removed
+            pass
+
+    def __enter__(self) -> "Heartbeat":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass(frozen=True)
+class WorkerHealth:
+    """One worker's graded state at scan time."""
+
+    name: str
+    pid: int
+    state: str  # "live" | "stalled" | "stale" | "done"
+    age: float  # seconds since the last heartbeat write
+    seq: int
+    task: Optional[str]
+    t_sim: Optional[float]
+    events: Optional[int]
+    path: str
+
+
+class Watchdog:
+    """Grades every heartbeat file in a directory; counts stall episodes.
+
+    One watchdog instance should live for the whole run: stall detection
+    compares beacon progress *between scans*, and episode counting
+    de-duplicates consecutive unhealthy scans of the same worker.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        stall_after: float = DEFAULT_STALL_AFTER,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if stall_after <= 0:
+            raise ObsError(f"stall_after must be positive, got {stall_after}")
+        self.directory = Path(directory)
+        self.stall_after = stall_after
+        self.stall_episodes = 0
+        self._clock = clock
+        self._unhealthy: set = set()
+        #: name -> (last seen beacon event count, wall time it changed)
+        self._progress: Dict[str, Tuple[int, float]] = {}
+
+    def _counter(self):
+        return REGISTRY.counter(
+            "watchdog_stalls_total",
+            "Stall episodes (stale heartbeat or frozen sim-clock) per worker",
+            labels=("worker",),
+        )
+
+    def scan(self) -> List[WorkerHealth]:
+        """Read every heartbeat file and grade it; safe to call anytime."""
+        if not self.directory.is_dir():
+            return []
+        now = self._clock()
+        healths: List[WorkerHealth] = []
+        for path in sorted(self.directory.glob(f"*{HEARTBEAT_SUFFIX}")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # vanished or mid-create; next scan will see it
+            name = str(record.get("name", path.name))
+            wall = float(record.get("wall", 0.0))
+            age = max(0.0, now - wall)
+            beacon = record.get("beacon") or {}
+            events = beacon.get("events")
+            state = "live"
+            if record.get("done"):
+                state = "done"
+            elif age > self.stall_after:
+                state = "stale"
+            elif isinstance(events, int):
+                last = self._progress.get(name)
+                if last is None or last[0] != events:
+                    self._progress[name] = (events, now)
+                elif now - last[1] > self.stall_after:
+                    state = "stalled"
+            self._note(name, state)
+            healths.append(
+                WorkerHealth(
+                    name=name,
+                    pid=int(record.get("pid", 0)),
+                    state=state,
+                    age=age,
+                    seq=int(record.get("seq", 0)),
+                    task=record.get("task"),
+                    t_sim=beacon.get("t_sim"),
+                    events=events if isinstance(events, int) else None,
+                    path=str(path),
+                )
+            )
+        return healths
+
+    def _note(self, name: str, state: str) -> None:
+        if state in ("stalled", "stale"):
+            if name not in self._unhealthy:
+                self._unhealthy.add(name)
+                self.stall_episodes += 1
+                self._counter().labels(worker=name).inc()
+        else:
+            self._unhealthy.discard(name)
+
+
+def render_health(healths: List[WorkerHealth]) -> str:
+    """`repro top` table: one row per worker, fixed-width columns."""
+    if not healths:
+        return "(no heartbeat files)"
+    rows = [("WORKER", "PID", "STATE", "AGE", "T_SIM", "EVENTS", "TASK")]
+    for h in healths:
+        rows.append(
+            (
+                h.name,
+                str(h.pid),
+                h.state,
+                f"{h.age:.1f}s",
+                "-" if h.t_sim is None else f"{h.t_sim:.2f}",
+                "-" if h.events is None else str(h.events),
+                h.task or "-",
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    return "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    )

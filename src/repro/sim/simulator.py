@@ -45,6 +45,7 @@ import random
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import ClockError, SimulationError
+from repro.obs.live import default_recorder as _default_recorder
 from repro.obs.trace import TRACER
 from repro.perf import PERF
 
@@ -132,11 +133,17 @@ class Simulator:
         #: list is aliased by the flush event scheduled at first insert,
         #: so later same-instant items ride along for free.
         self._open_batches: dict = {}
+        #: Live telemetry recorder (:mod:`repro.obs.live`), or ``None``.
+        #: ``run()`` only pays for telemetry when one is attached.
+        self.telemetry = None
         if TRACER.enabled:
             # The most recently built simulator owns the trace clock, so
             # span timestamps are simulated seconds (deterministic per
             # seed), not wall time.
             TRACER.use_clock(lambda: self._now)
+        recorder = _default_recorder()
+        if recorder is not None:
+            recorder.attach(self)
 
     # ------------------------------------------------------------------
     # Clock
@@ -365,6 +372,8 @@ class Simulator:
             self._now = when
             self.events_processed += 1
             self._fire(event)
+            if self.telemetry is not None:
+                self.telemetry.tick(self)
             return True
         return False
 
@@ -379,35 +388,75 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
-            # One fused peek/pop loop: this dispatches every event in the
-            # simulation, so the per-event overhead matters more than the
-            # tidier step()-based formulation it replaces.
-            heap = self._heap  # safe: _compact() rebuilds it in place
-            pop = heapq.heappop
-            limit = self.events_processed + max_events
-            fire = self._fire
-            while heap:
-                when, _seq, event = heap[0]
-                if event.cancelled:
+            if self.telemetry is not None:
+                self._run_instrumented(until, max_events)
+            else:
+                # One fused peek/pop loop: this dispatches every event in
+                # the simulation, so the per-event overhead matters more
+                # than the tidier step()-based formulation it replaces.
+                heap = self._heap  # safe: _compact() rebuilds it in place
+                pop = heapq.heappop
+                limit = self.events_processed + max_events
+                fire = self._fire
+                while heap:
+                    when, _seq, event = heap[0]
+                    if event.cancelled:
+                        pop(heap)
+                        event._sim = None
+                        self._cancelled_in_heap -= 1
+                        continue
+                    if until is not None and when > until:
+                        break
                     pop(heap)
                     event._sim = None
-                    self._cancelled_in_heap -= 1
-                    continue
-                if until is not None and when > until:
-                    break
-                pop(heap)
-                event._sim = None
-                self._now = when
-                self.events_processed += 1
-                fire(event)
-                if self.events_processed > limit:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway schedule?"
-                    )
+                    self._now = when
+                    self.events_processed += 1
+                    fire(event)
+                    if self.events_processed > limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; runaway schedule?"
+                        )
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
+
+    def _run_instrumented(self, until: Optional[float], max_events: int) -> None:
+        """The telemetry twin of run()'s fused loop.
+
+        Kept as a structural mirror (same pop/fire sequence, same clock
+        and limit semantics) so fixed-seed runs are byte-identical with
+        and without a recorder: ``tick()`` only *reads* simulator state.
+        Duplicating the loop keeps the common untelemetered path free of
+        the per-event ``tick`` call — the zero-cost guard the bench gate
+        enforces.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        limit = self.events_processed + max_events
+        fire = self._fire
+        telemetry = self.telemetry
+        tick = telemetry.tick
+        while heap:
+            when, _seq, event = heap[0]
+            if event.cancelled:
+                pop(heap)
+                event._sim = None
+                self._cancelled_in_heap -= 1
+                continue
+            if until is not None and when > until:
+                break
+            pop(heap)
+            event._sim = None
+            self._now = when
+            self.events_processed += 1
+            fire(event)
+            tick(self)
+            if self.events_processed > limit:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway schedule?"
+                )
+        telemetry.run_end(self)
 
     def _peek(self) -> Optional[Event]:
         heap = self._heap
@@ -418,6 +467,12 @@ class Simulator:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap length, cancelled entries included (telemetry view:
+        ``heap_depth - pending()`` is the lazily-deleted backlog)."""
+        return len(self._heap)
 
     def iter_pending(self) -> Iterator[Event]:
         """Yield live queued events in firing order (for diagnostics)."""

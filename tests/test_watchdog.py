@@ -1,0 +1,180 @@
+"""Tests for heartbeat files and the run-health watchdog."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import live
+from repro.obs.live import BEACON, TelemetryRecorder
+from repro.obs.registry import REGISTRY
+from repro.obs.watchdog import (
+    HEARTBEAT_SUFFIX,
+    Heartbeat,
+    Watchdog,
+    render_health,
+)
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(autouse=True)
+def clean_beacon():
+    BEACON.reset()
+    live.uninstall()
+    yield
+    BEACON.reset()
+    live.uninstall()
+
+
+class TestHeartbeat:
+    def test_beat_writes_atomic_named_record(self, tmp_path):
+        path = tmp_path / f"worker-1{HEARTBEAT_SUFFIX}"
+        hb = Heartbeat(path, clock=lambda: 100.0)
+        record = hb.beat()
+        assert record["name"] == "worker-1"
+        assert record["pid"] == os.getpid()
+        assert record["wall"] == 100.0
+        assert record["seq"] == 0 and record["done"] is False
+        assert json.loads(path.read_text()) == record
+        # tmp file must not linger after the atomic replace
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_beacon_included_only_when_written_by_this_process(self, tmp_path):
+        path = tmp_path / f"w{HEARTBEAT_SUFFIX}"
+        hb = Heartbeat(path)
+        assert hb.beat()["beacon"] is None  # beacon never updated
+        rec = TelemetryRecorder(cadence_events=1, include_metrics=False)
+        sim = Simulator(seed=1)
+        rec.attach(sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        beacon = hb.beat()["beacon"]
+        assert beacon["pid"] == os.getpid()
+        assert beacon["events"] == sim.events_processed
+
+    def test_payload_merged_and_errors_contained(self, tmp_path):
+        hb = Heartbeat(tmp_path / f"w{HEARTBEAT_SUFFIX}",
+                       payload=lambda: {"task": "dai trial=0"})
+        assert hb.beat()["task"] == "dai trial=0"
+
+        def boom():
+            raise RuntimeError("payload died")
+
+        hb2 = Heartbeat(tmp_path / f"w2{HEARTBEAT_SUFFIX}", payload=boom)
+        assert hb2.beat()["payload_error"] is True
+
+    def test_context_manager_beats_and_says_done(self, tmp_path):
+        path = tmp_path / f"w{HEARTBEAT_SUFFIX}"
+        with Heartbeat(path, interval=0.01) as hb:
+            assert hb.beats >= 1
+        final = json.loads(path.read_text())
+        assert final["done"] is True
+
+    def test_rejects_bad_interval_and_double_start(self, tmp_path):
+        with pytest.raises(ObsError):
+            Heartbeat(tmp_path / "x", interval=0.0)
+        hb = Heartbeat(tmp_path / f"w{HEARTBEAT_SUFFIX}", interval=5.0)
+        hb.start()
+        try:
+            with pytest.raises(ObsError):
+                hb.start()
+        finally:
+            hb.stop()
+
+
+def _write_hb(path, name, wall, done=False, events=None, task=None, pid=4242):
+    record = {"name": name, "pid": pid, "wall": wall, "seq": 1, "done": done,
+              "beacon": None if events is None else
+              {"pid": pid, "t_sim": 2.5, "events": events, "pending": 3,
+               "wall": wall}}
+    if task is not None:
+        record["task"] = task
+    path.write_text(json.dumps(record) + "\n")
+
+
+class TestWatchdog:
+    def test_grades_live_stale_and_done(self, tmp_path):
+        now = [100.0]
+        dog = Watchdog(tmp_path, stall_after=10.0, clock=lambda: now[0])
+        _write_hb(tmp_path / f"a{HEARTBEAT_SUFFIX}", "a", wall=99.0)
+        _write_hb(tmp_path / f"b{HEARTBEAT_SUFFIX}", "b", wall=50.0)
+        _write_hb(tmp_path / f"c{HEARTBEAT_SUFFIX}", "c", wall=99.5, done=True)
+        states = {h.name: h.state for h in dog.scan()}
+        assert states == {"a": "live", "b": "stale", "c": "done"}
+        assert dog.stall_episodes == 1  # only b
+
+    def test_frozen_beacon_counts_as_stalled(self, tmp_path):
+        now = [100.0]
+        dog = Watchdog(tmp_path, stall_after=10.0, clock=lambda: now[0])
+        path = tmp_path / f"w{HEARTBEAT_SUFFIX}"
+        _write_hb(path, "w", wall=100.0, events=500)
+        (health,) = dog.scan()
+        assert health.state == "live"
+        # Heartbeat keeps beating but the sim made no progress.
+        now[0] = 115.0
+        _write_hb(path, "w", wall=115.0, events=500)
+        (health,) = dog.scan()
+        assert health.state == "stalled"
+        assert dog.stall_episodes == 1
+        # Progress resumes: back to live, and a *new* freeze is a new episode.
+        now[0] = 120.0
+        _write_hb(path, "w", wall=120.0, events=900)
+        assert dog.scan()[0].state == "live"
+        now[0] = 140.0
+        _write_hb(path, "w", wall=140.0, events=900)
+        assert dog.scan()[0].state == "stalled"
+        assert dog.stall_episodes == 2
+
+    def test_consecutive_unhealthy_scans_are_one_episode(self, tmp_path):
+        now = [100.0]
+        dog = Watchdog(tmp_path, stall_after=10.0, clock=lambda: now[0])
+        _write_hb(tmp_path / f"w{HEARTBEAT_SUFFIX}", "w", wall=10.0)
+        before = REGISTRY.counter(
+            "watchdog_stalls_total", "", labels=("worker",)
+        ).labels(worker="w").value
+        for _ in range(3):
+            dog.scan()
+        assert dog.stall_episodes == 1
+        after = REGISTRY.counter(
+            "watchdog_stalls_total", "", labels=("worker",)
+        ).labels(worker="w").value
+        assert after == before + 1
+
+    def test_missing_directory_and_garbage_files_are_tolerated(self, tmp_path):
+        dog = Watchdog(tmp_path / "nope", stall_after=5.0)
+        assert dog.scan() == []
+        dog2 = Watchdog(tmp_path, stall_after=5.0)
+        (tmp_path / f"junk{HEARTBEAT_SUFFIX}").write_text("{not json")
+        assert dog2.scan() == []
+
+    def test_rejects_bad_stall_after(self, tmp_path):
+        with pytest.raises(ObsError):
+            Watchdog(tmp_path, stall_after=0.0)
+
+    def test_health_carries_task_and_progress(self, tmp_path):
+        dog = Watchdog(tmp_path, stall_after=10.0, clock=lambda: 100.0)
+        _write_hb(tmp_path / f"w{HEARTBEAT_SUFFIX}", "w", wall=99.0,
+                  events=250, task="arpwatch trial=1")
+        (health,) = dog.scan()
+        assert health.task == "arpwatch trial=1"
+        assert health.events == 250 and health.t_sim == 2.5
+
+
+class TestRenderHealth:
+    def test_empty(self):
+        assert render_health([]) == "(no heartbeat files)"
+
+    def test_table_has_header_and_rows(self, tmp_path):
+        dog = Watchdog(tmp_path, stall_after=10.0, clock=lambda: 100.0)
+        _write_hb(tmp_path / f"w{HEARTBEAT_SUFFIX}", "w", wall=99.0,
+                  events=250, task="dai trial=0")
+        text = render_health(dog.scan())
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "WORKER", "PID", "STATE", "AGE", "T_SIM", "EVENTS", "TASK"
+        ]
+        assert "dai trial=0" in lines[1]
+        assert "live" in lines[1]
