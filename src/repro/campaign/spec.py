@@ -386,6 +386,22 @@ def _execute_dhcp_starvation(task: CampaignTask) -> SerializableResult:
     )
 
 
+def _execute_campus_churn(task: CampaignTask) -> SerializableResult:
+    return api.run(
+        "campus-churn",
+        _scenario_config(task),
+        scheme=task.scheme,
+        buildings=int(task.variant.get("buildings", 4)),
+        leaves_per_building=int(task.variant.get("leaves_per_building", 2)),
+        hosts_per_leaf=int(task.variant.get("hosts_per_leaf", 24)),
+        talkers=(
+            int(task.variant["talkers"]) if "talkers" in task.variant else None
+        ),
+        duration=float(task.variant.get("duration", 2.0)),
+        shards=int(task.variant.get("shards", 0)),
+    )
+
+
 @dataclass(frozen=True)
 class ExperimentKind:
     """Binding between a campaign experiment name and its ``run_*`` call."""
@@ -486,6 +502,26 @@ EXPERIMENTS: Dict[str, ExperimentKind] = {
             metrics=("leases_captured", "pool_free", "exhausted"),
             variant_keys=("duration", "rate_per_second"),
             default_variants=({"duration": 30.0},),
+        ),
+        ExperimentKind(
+            name="campus-churn",
+            execute=_execute_campus_churn,
+            metrics=(
+                "deliveries",
+                "deliveries_per_sec",
+                "events",
+                "alerts",
+                "wall_seconds",
+            ),
+            variant_keys=(
+                "buildings",
+                "leaves_per_building",
+                "hosts_per_leaf",
+                "talkers",
+                "duration",
+                "shards",
+            ),
+            default_variants=({"shards": 0}, {"shards": 2}),
         ),
     )
 }

@@ -173,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
              "or 'none' for the clean-LAN level — fault specs contain "
              "commas, hence one flag per level",
     )
+    camp.add_argument(
+        "--variant", action="append", default=None, dest="variant_overrides",
+        metavar="KEY=VALUE",
+        help="override one variant-grid key across every cell (repeatable); "
+             "numeric-looking values parse as numbers — e.g. for "
+             "campus-churn: --variant hosts_per_leaf=50 --variant shards=2",
+    )
     camp.add_argument("--csv", action="store_true", help="emit CSV")
     camp.add_argument(
         "--metrics-out", default=None, metavar="PATH",
@@ -337,6 +344,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable coalesced event dispatch for this run (gates the "
         "per-frame data plane; batch-only baseline keys are skipped)",
     )
+    bench.add_argument(
+        "--no-scale", action="store_true",
+        help="skip the campus-scale suite when checking (scale baseline "
+        "keys are then allowed missing)",
+    )
+
+    scale = sub.add_parser(
+        "scale", help="run the campus-scale (spine-leaf, sharded) benchmarks"
+    )
+    scale.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) if any benchmark regresses below BENCH_scale.json",
+    )
+    scale.add_argument(
+        "--update", action="store_true",
+        help="write the current results as the new scale baseline",
+    )
+    scale.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default: BENCH_scale.json at the repo root)",
+    )
+    scale.add_argument(
+        "--quick", action="store_true",
+        help="1k-host cells only, short runs (CI smoke mode; the 10k-host "
+        "cell is full-mode only)",
+    )
+    scale.add_argument(
+        "--tolerance", type=float, default=None,
+        help="fraction of baseline throughput that still passes (default 0.5)",
+    )
     return parser
 
 
@@ -392,9 +429,40 @@ def _campaign_grid(args):
     elif args.experiment == "dhcp-starvation":
         variants = [{"duration": args.duration}]
         scenario = {"n_hosts": args.hosts}
-    else:  # resolution-latency
+    else:  # resolution-latency, campus-churn
         variants = list(kind.default_variants)
+
+    if getattr(args, "variant_overrides", None):
+        overrides = dict(
+            _parse_variant_override(item) for item in args.variant_overrides
+        )
+        unknown = set(overrides) - set(kind.variant_keys)
+        if unknown:
+            raise SystemExit(
+                f"--variant keys {sorted(unknown)} not valid for "
+                f"{args.experiment!r}; allowed: {sorted(kind.variant_keys)}"
+            )
+        variants = [{**dict(v), **overrides} for v in variants] or [overrides]
+        # Overrides collapse cells that only differed on an overridden key.
+        deduped = []
+        for v in variants:
+            if v not in deduped:
+                deduped.append(v)
+        variants = deduped
     return tuple(schemes), tuple(variants), scenario
+
+
+def _parse_variant_override(item: str):
+    """``key=value`` with int/float coercion (``shards=2`` -> 2)."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"--variant expects KEY=VALUE, got {item!r}")
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            continue
+    return key, raw
 
 
 def _cmd_campaign(args, out) -> int:
@@ -729,12 +797,93 @@ def _cmd_bench(args, out) -> int:
             args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
         )
         allow_missing = BATCH_ONLY_BENCHMARKS if args.no_batch else frozenset()
+
+        # Fold the campus-scale gate in: BENCH_scale.json keys join the
+        # baseline, and whichever of them this run legitimately skips
+        # (--no-scale / --no-batch: the churn cells measure the batched
+        # plane; --quick: the 10k cell is full-mode only) joins the
+        # allow-missing set — same mechanism as BATCH_ONLY_BENCHMARKS.
+        from repro.perf.scale import (
+            DEFAULT_SCALE_BASELINE,
+            SCALE_BENCHMARKS,
+            SCALE_FULL_ONLY,
+            run_scale_suite,
+        )
+
+        scale_path = baseline_path.parent / DEFAULT_SCALE_BASELINE
+        if scale_path.exists():
+            baseline = {**baseline, **load_baseline(scale_path)}
+            if args.no_scale or args.no_batch:
+                allow_missing = allow_missing | SCALE_BENCHMARKS
+            else:
+                scale_results = run_scale_suite(quick=args.quick)
+                out.write(format_results(scale_results, baseline) + "\n")
+                results = {**results, **scale_results}
+                if args.quick:
+                    allow_missing = allow_missing | SCALE_FULL_ONLY
+
         failures = check(results, baseline, tolerance, allow_missing)
         for failure in failures:
             out.write(f"# REGRESSION {failure}\n")
         if failures:
             return 1
         out.write(f"# bench check passed (tolerance {tolerance})\n")
+    return 0
+
+
+def _cmd_scale(args, out) -> int:
+    from pathlib import Path
+
+    from repro.perf import PERF
+    from repro.perf.bench import (
+        DEFAULT_TOLERANCE,
+        check,
+        format_results,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.perf.scale import (
+        DEFAULT_SCALE_BASELINE,
+        SCALE_FULL_ONLY,
+        run_scale_suite,
+    )
+
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = (
+            Path(__file__).resolve().parents[2] / DEFAULT_SCALE_BASELINE
+        )
+
+    PERF.reset()
+    results = run_scale_suite(quick=args.quick)
+
+    baseline = load_baseline(baseline_path) if baseline_path.exists() else None
+    out.write(format_results(results, baseline) + "\n")
+    out.write(f"# perf: {PERF.summary()}\n")
+
+    if args.update:
+        if args.quick:
+            out.write("# refusing --update with --quick: the baseline must "
+                      "carry the 10k-host cell\n")
+            return 2
+        write_baseline(baseline_path, results)
+        out.write(f"# baseline written to {baseline_path}\n")
+        return 0
+    if args.check:
+        if baseline is None:
+            out.write(f"# no baseline at {baseline_path}; run with --update\n")
+            return 1
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        allow_missing = SCALE_FULL_ONLY if args.quick else frozenset()
+        failures = check(results, baseline, tolerance, allow_missing)
+        for failure in failures:
+            out.write(f"# REGRESSION {failure}\n")
+        if failures:
+            return 1
+        out.write(f"# scale check passed (tolerance {tolerance})\n")
     return 0
 
 
@@ -858,6 +1007,8 @@ def main(argv: Optional[list[str]] = None, out=None) -> int:
         return _cmd_top(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "scale":
+        return _cmd_scale(args, out)
     if args.command == "analyze":
         from repro.analysis.forensics import OfflineArpAnalyzer
         from repro.analysis.pcap import read_pcap

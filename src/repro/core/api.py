@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core import experiment as _exp
+from repro.core import scale as _scale
 from repro.core.experiment import ScenarioConfig, SerializableResult
 from repro.errors import ExperimentError, FaultError
 from repro.faults import FaultSpec, parse_fault_spec
@@ -118,6 +119,19 @@ KINDS: Dict[str, Kind] = {
             runner=_exp._run_dhcp_starvation,
             result_type=_exp.StarvationResult,
             params=("duration", "rate_per_second", "greedy"),
+        ),
+        Kind(
+            name="campus-churn",
+            runner=_scale._run_campus_churn,
+            result_type=_scale.CampusScaleResult,
+            params=(
+                "buildings",
+                "leaves_per_building",
+                "hosts_per_leaf",
+                "talkers",
+                "duration",
+                "shards",
+            ),
         ),
     )
 }

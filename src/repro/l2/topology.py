@@ -9,6 +9,7 @@ testbed.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.errors import TopologyError
@@ -22,9 +23,58 @@ from repro.stack.host import Host
 from repro.stack.os_profiles import LINUX, OsProfile
 from repro.stack.router import Router
 
-__all__ = ["Lan"]
+__all__ = ["Campus", "Lan", "PortAllocator"]
 
 _REALISTIC_OUIS = sorted(KNOWN_OUIS)
+
+#: Locally-administered, unicast base for deterministic campus MACs
+#: (02:xx:xx:xx:xx:xx) — derived from the global host index instead of a
+#: shared RNG stream so the address a host gets does not depend on how
+#: many other partitions drew from the stream first.
+_CAMPUS_MAC_BASE = 0x02_00_00_00_00_00
+
+
+class PortAllocator:
+    """O(1) switch-port bookkeeping.
+
+    Hands out port indices sequentially (0, 1, 2, ... — byte-identical to
+    the counter it replaced) and recycles released indices through a FIFO
+    free-list, so building a 10k-host topology costs O(1) per attachment
+    and unplugged ports can be reused without scanning the port list.
+    """
+
+    __slots__ = ("switch_name", "num_ports", "_next", "_released")
+
+    def __init__(self, switch_name: str, num_ports: int) -> None:
+        self.switch_name = switch_name
+        self.num_ports = num_ports
+        self._next = 0
+        self._released: deque[int] = deque()
+
+    def take(self) -> int:
+        if self._released:
+            return self._released.popleft()
+        index = self._next
+        if index >= self.num_ports:
+            raise TopologyError(f"{self.switch_name} is out of ports")
+        self._next = index + 1
+        return index
+
+    def release(self, index: int) -> None:
+        if not 0 <= index < self._next:
+            raise TopologyError(
+                f"{self.switch_name} port {index} was never allocated"
+            )
+        self._released.append(index)
+
+    def available(self) -> int:
+        return self.num_ports - self._next + len(self._released)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PortAllocator({self.switch_name!r}, "
+            f"{self.num_ports - self.available()}/{self.num_ports} in use)"
+        )
 
 
 class Lan:
@@ -58,7 +108,9 @@ class Lan:
         )
         #: All switches by name; ``switch1`` is the primary (uplink) one.
         self.switches: Dict[str, Switch] = {"switch1": self.switch}
-        self._next_port: Dict[str, int] = {"switch1": 0}
+        self._ports: Dict[str, PortAllocator] = {
+            "switch1": PortAllocator("switch1", switch_ports)
+        }
         #: Primary-switch port indices that are inter-switch trunks —
         #: switch-resident schemes must treat these as trusted/multi-MAC.
         self.trunk_ports: set[int] = set()
@@ -85,12 +137,11 @@ class Lan:
                 return mac
 
     def _take_switch_port(self, switch_name: str = "switch1") -> int:
-        switch = self.switches[switch_name]
-        index = self._next_port[switch_name]
-        if index >= len(switch.ports):
-            raise TopologyError(f"{switch_name} is out of ports")
-        self._next_port[switch_name] = index + 1
-        return index
+        try:
+            allocator = self._ports[switch_name]
+        except KeyError:
+            raise TopologyError(f"no such switch {switch_name!r}") from None
+        return allocator.take()
 
     def _wire(self, host: Host, switch_name: str = "switch1") -> int:
         port_index = self._take_switch_port(switch_name)
@@ -129,7 +180,7 @@ class Lan:
             cam_aging=cam_aging,
         )
         self.switches[name] = switch
-        self._next_port[name] = 0
+        self._ports[name] = PortAllocator(name, num_ports)
         uplink = self.switches[uplink_to]
         up_index = self._take_switch_port(uplink_to)
         down_index = self._take_switch_port(name)
@@ -304,4 +355,240 @@ class Lan:
         return (
             f"Lan({self.network}, hosts={len(self.hosts)}, "
             f"monitor={'yes' if self.monitor else 'no'})"
+        )
+
+
+class Campus:
+    """A spine-leaf campus: buildings -> leaf switches -> one spine.
+
+    The scale topology (ROADMAP item 1): ``buildings x leaves_per_building``
+    leaf switches each serving ``hosts_per_leaf`` stations, every leaf
+    trunked to a single spine switch.  10k hosts is
+    ``buildings=10, leaves_per_building=10, hosts_per_leaf=100``.
+
+    ``fabric`` is either a plain :class:`~repro.sim.Simulator` (everything
+    in one event loop, plain links throughout) or a
+    :class:`~repro.sim.ShardedSimulator` — detected by the presence of
+    ``add_partition`` — in which case each building becomes a partition,
+    the spine switch gets its own ``spine`` partition, and the leaf->spine
+    uplinks become boundary links (their latency is the lookahead floor).
+    The built topology is identical either way.
+
+    Determinism across sharding: MAC and IP addresses derive from the
+    global host index (not a shared RNG stream — partitions would race on
+    it), names encode position (``b{building}l{leaf}h{host}``), and all
+    construction is event-free, so a fixed-seed run produces the same
+    traffic whether or not the fabric is partitioned.
+
+    Duck-types the :class:`Lan` surface monitor-placement schemes need
+    (``hosts``, ``monitor``, ``true_bindings``), so ``ArpWatch`` and
+    friends install unchanged via :meth:`add_monitor`.
+    """
+
+    def __init__(
+        self,
+        fabric,
+        network: str | Ipv4Network = "10.0.0.0/16",
+        buildings: int = 4,
+        leaves_per_building: int = 2,
+        hosts_per_leaf: int = 24,
+        leaf_latency: float = DEFAULT_LATENCY,
+        spine_latency: float = 10 * DEFAULT_LATENCY,
+        link_rate_bps: float = DEFAULT_RATE_BPS,
+        profile: OsProfile = LINUX,
+    ) -> None:
+        if buildings < 1 or leaves_per_building < 1 or hosts_per_leaf < 1:
+            raise TopologyError("campus dimensions must all be >= 1")
+        self.fabric = fabric
+        self.network = Ipv4Network(network)
+        self.buildings = buildings
+        self.leaves_per_building = leaves_per_building
+        self.hosts_per_leaf = hosts_per_leaf
+        self.spine_latency = spine_latency
+        self.leaf_latency = leaf_latency
+        self.link_rate_bps = link_rate_bps
+        total_hosts = buildings * leaves_per_building * hosts_per_leaf
+        if total_hosts + 16 > self.network.num_hosts:
+            raise TopologyError(
+                f"{self.network} cannot address {total_hosts} hosts; "
+                f"use a wider prefix"
+            )
+        self.sharded = hasattr(fabric, "add_partition")
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, Switch] = {}
+        self.links: List[Link] = []
+        self.monitor: Optional[Host] = None
+        self._ports: Dict[str, PortAllocator] = {}
+        #: device name -> (switch name, port index) for every station.
+        self.attachment_of: Dict[str, tuple[str, int]] = {}
+
+        n_leaves = buildings * leaves_per_building
+        if self.sharded:
+            spine_sim = fabric.add_partition("spine")
+            self._building_sims = [
+                fabric.add_partition(f"b{b}") for b in range(buildings)
+            ]
+        else:
+            spine_sim = fabric
+            self._building_sims = [fabric] * buildings
+
+        # One CAM big enough for the whole campus on the spine; leaves
+        # only ever learn their local stations plus the trunk.
+        self.spine = Switch(
+            spine_sim,
+            "spine",
+            num_ports=n_leaves,
+            cam_capacity=max(1024, 2 * total_hosts),
+        )
+        self.switches["spine"] = self.spine
+        self._ports["spine"] = PortAllocator("spine", n_leaves)
+        if self.sharded:
+            spine_sim.register(self.spine)
+
+        host_index = 0
+        for b in range(buildings):
+            bsim = self._building_sims[b]
+            for l in range(leaves_per_building):
+                leaf_name = f"b{b}l{l}"
+                # hosts + uplink + one spare for a mirror/monitor port.
+                leaf = Switch(
+                    bsim,
+                    leaf_name,
+                    num_ports=hosts_per_leaf + 2,
+                    cam_capacity=max(256, 4 * hosts_per_leaf),
+                )
+                self.switches[leaf_name] = leaf
+                self._ports[leaf_name] = PortAllocator(leaf_name, hosts_per_leaf + 2)
+                if self.sharded:
+                    bsim.register(leaf)
+                up_index = self._ports[leaf_name].take()
+                spine_index = self._ports["spine"].take()
+                if self.sharded:
+                    fabric.connect(
+                        leaf.ports[up_index],
+                        self.spine.ports[spine_index],
+                        latency=spine_latency,
+                        rate_bps=link_rate_bps,
+                    )
+                else:
+                    self.links.append(
+                        Link(
+                            fabric,
+                            leaf.ports[up_index],
+                            self.spine.ports[spine_index],
+                            latency=spine_latency,
+                            rate_bps=link_rate_bps,
+                        )
+                    )
+                for k in range(hosts_per_leaf):
+                    host_index += 1
+                    self._add_station(
+                        bsim,
+                        leaf_name,
+                        name=f"{leaf_name}h{k}",
+                        mac=MacAddress(_CAMPUS_MAC_BASE + host_index),
+                        ip=self.network.host(16 + host_index),
+                        profile=profile,
+                    )
+
+    def _add_station(
+        self,
+        sim,
+        leaf_name: str,
+        name: str,
+        mac: MacAddress,
+        ip: Optional[Ipv4Address],
+        profile: OsProfile = LINUX,
+        promiscuous: bool = False,
+    ) -> Host:
+        host = Host(
+            sim,
+            name,
+            mac=mac,
+            ip=ip,
+            network=self.network,
+            gateway=None,
+            profile=profile,
+        )
+        host.promiscuous = promiscuous
+        self.hosts[name] = host
+        if self.sharded:
+            sim.register(host)
+        port_index = self._ports[leaf_name].take()
+        self.links.append(
+            Link(
+                sim,
+                host.nic,
+                self.switches[leaf_name].ports[port_index],
+                latency=self.leaf_latency,
+                rate_bps=self.link_rate_bps,
+            )
+        )
+        self.attachment_of[name] = (leaf_name, port_index)
+        return host
+
+    def add_monitor(
+        self, building: int = 0, leaf: int = 0, name: str = "monitor"
+    ) -> Host:
+        """Attach a promiscuous monitor on a mirror port of one leaf.
+
+        Campus monitors are per-leaf (a real IDS cannot mirror a whole
+        spine); schemes installed on it see that leaf's traffic, which is
+        exactly the partial-visibility story the paper's monitor schemes
+        must survive at scale.
+        """
+        if self.monitor is not None:
+            raise TopologyError("monitor already attached")
+        leaf_name = f"b{building}l{leaf}"
+        if leaf_name not in self.switches:
+            raise TopologyError(f"no such leaf {leaf_name!r}")
+        monitor = self._add_station(
+            self._building_sims[building],
+            leaf_name,
+            name=name,
+            mac=MacAddress(_CAMPUS_MAC_BASE + 0x00_FF_00_00_00_01),
+            ip=self.network.host(2),
+            promiscuous=True,
+        )
+        self.switches[leaf_name].mirror_all_to(self.attachment_of[name][1])
+        self.monitor = monitor
+        return monitor
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def total_hosts(self) -> int:
+        return self.buildings * self.leaves_per_building * self.hosts_per_leaf
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise TopologyError(f"no such host {name!r}") from None
+
+    def leaf_switch(self, building: int, leaf: int) -> Switch:
+        try:
+            return self.switches[f"b{building}l{leaf}"]
+        except KeyError:
+            raise TopologyError(
+                f"no such leaf b{building}l{leaf}"
+            ) from None
+
+    def hosts_in(self, building: int) -> List[Host]:
+        prefix = f"b{building}l"
+        return [h for name, h in self.hosts.items() if name.startswith(prefix)]
+
+    def true_bindings(self) -> Dict[Ipv4Address, MacAddress]:
+        """Ground truth (IP -> MAC), same contract as :meth:`Lan.true_bindings`."""
+        return {
+            host.ip: host.mac for host in self.hosts.values() if host.ip is not None
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Campus({self.network}, {self.buildings}x"
+            f"{self.leaves_per_building}x{self.hosts_per_leaf} = "
+            f"{self.total_hosts} hosts, "
+            f"{'sharded' if self.sharded else 'single-sim'})"
         )

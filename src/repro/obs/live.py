@@ -245,6 +245,14 @@ class TelemetryRecorder:
             "events": sim.events_processed,
             "pending": sim.pending(),
             "heap_depth": sim.heap_depth,
+        }
+        # A partitioned fabric (repro.sim.partition) exposes per-partition
+        # heaps; its aggregate heap_depth is already the sum — record the
+        # breakdown next to it so dashboards can spot a lopsided shard.
+        depths = getattr(sim, "heap_depths", None)
+        if callable(depths):
+            snap["heap_depth_by_partition"] = depths()
+        snap.update({
             "batch": {
                 "flushes": flushes,
                 "items": items,
@@ -253,7 +261,7 @@ class TelemetryRecorder:
                 "coalesce_rate": round((items - flushes) / items, 4) if items else 0.0,
             },
             "perf": perf_delta,
-        }
+        })
         if self.include_metrics:
             snap["metrics"] = REGISTRY.delta(self._reg_before)
         REGISTRY.counter(

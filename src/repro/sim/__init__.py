@@ -1,6 +1,17 @@
 """Discrete-event simulation engine and trace capture."""
 
+from repro.sim.partition import Boundary, Envelope, Partition, ShardedSimulator
 from repro.sim.simulator import Event, Simulator
 from repro.sim.trace import Direction, TraceRecord, TraceRecorder
 
-__all__ = ["Event", "Simulator", "Direction", "TraceRecord", "TraceRecorder"]
+__all__ = [
+    "Boundary",
+    "Envelope",
+    "Event",
+    "Partition",
+    "ShardedSimulator",
+    "Simulator",
+    "Direction",
+    "TraceRecord",
+    "TraceRecorder",
+]

@@ -277,6 +277,44 @@ class Simulator:
         event = Event(time=when, seq=seq, action=flush, name=name, sim=self)
         heapq.heappush(self._heap, (when, seq, event))
 
+    def coalesce_at(
+        self,
+        when: float,
+        sink,
+        item,
+        name: str = "link.carry",
+    ) -> None:
+        """Absolute-time :meth:`coalesce` — the envelope flush path.
+
+        Cross-partition frames (:mod:`repro.sim.partition`) arrive with a
+        precomputed absolute timestamp; recomputing it as ``now + (when -
+        now)`` would reassociate the float arithmetic and could drift a
+        ULP from the timestamp the unsharded run produces.  Same batch
+        mechanics as :meth:`coalesce`, keyed on the exact ``when``.
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot schedule at t={when} before current time t={self._now}"
+            )
+        key = (when, sink)
+        open_batches = self._open_batches
+        items = open_batches.get(key)
+        if items is not None:
+            items.append(item)
+            return
+        items = [item]
+        open_batches[key] = items
+
+        def flush() -> None:
+            del open_batches[key]
+            PERF.batch_flushes += 1
+            PERF.batched_items += len(items)
+            sink.deliver_batch(items)
+
+        seq = next(self._counter)
+        event = Event(time=when, seq=seq, action=flush, name=name, sim=self)
+        heapq.heappush(self._heap, (when, seq, event))
+
     def call_every(
         self,
         interval: float,
@@ -467,6 +505,15 @@ class Simulator:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return len(self._heap) - self._cancelled_in_heap
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` when idle.
+
+        The conservative-lookahead coordinator polls this between windows
+        to pick the global safe horizon (:mod:`repro.sim.partition`).
+        """
+        event = self._peek()
+        return event.time if event is not None else None
 
     @property
     def heap_depth(self) -> int:

@@ -26,6 +26,7 @@ def _reset_legacy_warnings():
 class TestRegistry:
     def test_all_kinds_registered(self):
         assert sorted(KINDS) == [
+            "campus-churn",
             "controller-failover",
             "detection-latency",
             "dhcp-starvation",

@@ -243,3 +243,33 @@ class TestInstallAndSession:
         reasons = {s["reason"] for s in rec.snapshots}
         assert "attach" in reasons and "run-end" in reasons
         assert live.default_recorder() is None  # session restored
+
+
+class TestPartitionedHeapDepth:
+    """Snapshots of a sharded fabric aggregate heap depth across
+    partitions (sum + per-partition breakdown); plain simulators are
+    unchanged."""
+
+    def test_sharded_snapshot_sums_and_breaks_down(self):
+        from repro.sim import ShardedSimulator
+
+        fabric = ShardedSimulator(seed=1)
+        left = fabric.add_partition("left")
+        right = fabric.add_partition("right")
+        left.schedule_at(0.5, lambda: None)
+        right.schedule_at(0.5, lambda: None)
+        right.schedule_at(0.6, lambda: None)
+        rec = TelemetryRecorder(include_metrics=False)
+        snap = rec.sample(fabric)
+        assert snap["heap_depth"] == 3
+        assert snap["heap_depth_by_partition"] == {"left": 1, "right": 2}
+        validate_snapshot(snap)
+
+    def test_plain_simulator_has_no_breakdown(self):
+        rec = TelemetryRecorder(include_metrics=False)
+        sim = Simulator(seed=1)
+        sim.schedule_at(0.5, lambda: None)
+        snap = rec.sample(sim)
+        assert snap["heap_depth"] == 1
+        assert "heap_depth_by_partition" not in snap
+        validate_snapshot(snap)
