@@ -1,7 +1,7 @@
 """Rendering helpers and offline capture forensics."""
 
 from repro.analysis.forensics import CaptureSummary, Finding, OfflineArpAnalyzer
-from repro.analysis.pcap import read_pcap, write_pcap
+from repro.analysis.pcap import PcapWriter, iter_pcap, read_pcap, write_pcap
 from repro.analysis.stats import Summary, replicate, summarize
 from repro.analysis.tables import render_series, render_table, to_csv
 
@@ -12,6 +12,8 @@ __all__ = [
     "OfflineArpAnalyzer",
     "CaptureSummary",
     "Finding",
+    "PcapWriter",
+    "iter_pcap",
     "read_pcap",
     "write_pcap",
     "Summary",

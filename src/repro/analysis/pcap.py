@@ -1,44 +1,72 @@
-"""pcap import/export for trace captures.
+"""pcap import/export for trace captures — streaming-first.
 
 Writes classic libpcap format (magic ``0xa1b2c3d4``, microsecond
 timestamps, LINKTYPE_ETHERNET), so a simulated capture opens directly in
 Wireshark/tcpdump — and real captures of Ethernet traffic can be pulled
-back in and fed to the offline analyzer.
+back in and fed to the offline analyzer or the replay engine.
+
+The primitives are streaming: :func:`iter_pcap` is a generator over a
+fixed-size read buffer (a multi-GB capture is never materialized), and
+:class:`PcapWriter` is a context manager with incremental ``append()``.
+The eager :func:`read_pcap`/:func:`write_pcap` remain as warn-once
+deprecation shims over them.
 """
 
 from __future__ import annotations
 
 import struct
+import warnings
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import BinaryIO, Iterable, Iterator, List, Union
 
-from repro.errors import CodecError
+from repro.errors import PcapError
 from repro.sim.trace import Direction, TraceRecord
 
-__all__ = ["write_pcap", "read_pcap", "PCAP_MAGIC"]
+__all__ = [
+    "PCAP_MAGIC",
+    "PcapWriter",
+    "iter_pcap",
+    "read_pcap",
+    "write_pcap",
+]
 
 PCAP_MAGIC = 0xA1B2C3D4
 _LINKTYPE_ETHERNET = 1
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
 _RECORD_HEADER = struct.Struct("<IIII")
 
+#: Fixed read-buffer size for :func:`iter_pcap` (bytes).  The reader never
+#: holds more than roughly this much file data plus one frame in memory.
+READ_BUFFER = 1 << 16
 
-def write_pcap(
-    records: Iterable[TraceRecord],
-    destination: Union[str, Path],
-    snaplen: int = 65535,
-) -> int:
-    """Write ``records`` to ``destination``; returns the record count.
 
-    Records are sorted by timestamp (pcap readers expect monotonic
-    captures); frames longer than ``snaplen`` are truncated with the
-    original length preserved in the header, like a real capture.
+class PcapWriter:
+    """Incremental classic-pcap writer.
+
+    Context manager: opens ``destination`` (or wraps an already-open
+    binary file object), writes the global header immediately, and
+    appends one record per :meth:`append` call — nothing is buffered
+    beyond the OS file buffer, so arbitrarily long captures stream out
+    in O(1) memory.
+
+    Unlike the legacy :func:`write_pcap`, records are written in call
+    order; callers feeding live taps already append in timestamp order,
+    and the shim sorts before delegating.
     """
-    ordered = sorted(records, key=lambda r: r.time)
-    path = Path(destination)
-    count = 0
-    with path.open("wb") as fh:
-        fh.write(
+
+    def __init__(
+        self,
+        destination: Union[str, Path, BinaryIO],
+        snaplen: int = 65535,
+    ) -> None:
+        self.snaplen = snaplen
+        self.count = 0
+        self._owns_file = not hasattr(destination, "write")
+        if self._owns_file:
+            self._fh: BinaryIO = Path(destination).open("wb")
+        else:
+            self._fh = destination  # type: ignore[assignment]
+        self._fh.write(
             _GLOBAL_HEADER.pack(
                 PCAP_MAGIC,
                 2,  # version major
@@ -49,61 +77,146 @@ def write_pcap(
                 _LINKTYPE_ETHERNET,
             )
         )
-        for record in ordered:
-            seconds = int(record.time)
-            micros = int(round((record.time - seconds) * 1_000_000))
-            if micros >= 1_000_000:  # carry from rounding
-                seconds += 1
-                micros -= 1_000_000
-            captured = record.frame[:snaplen]
-            fh.write(
-                _RECORD_HEADER.pack(seconds, micros, len(captured), len(record.frame))
-            )
-            fh.write(captured)
-            count += 1
-    return count
+
+    def append(self, record: TraceRecord) -> None:
+        """Write one record; frames longer than ``snaplen`` are truncated
+        with the original length preserved in the header, like a real
+        capture."""
+        self.append_frame(record.time, record.frame)
+
+    def append_frame(self, timestamp: float, frame: bytes) -> None:
+        """Write one raw ``(timestamp, frame)`` pair (replay-source shape)."""
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:  # carry from rounding
+            seconds += 1
+            micros -= 1_000_000
+        captured = frame[: self.snaplen]
+        self._fh.write(_RECORD_HEADER.pack(seconds, micros, len(captured), len(frame)))
+        self._fh.write(captured)
+        self.count += 1
+
+    def close(self) -> None:
+        if self._owns_file and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
-def read_pcap(source: Union[str, Path]) -> List[TraceRecord]:
-    """Read an Ethernet pcap back into :class:`TraceRecord` objects.
+def _open_reader(source: Union[str, Path, BinaryIO], buffer_size: int) -> tuple:
+    """Return ``(fh, owns)`` for a path or already-open binary stream."""
+    if hasattr(source, "read"):
+        return source, False
+    return Path(source).open("rb", buffering=buffer_size), True
 
-    Handles both byte orders; rejects nanosecond-format and non-Ethernet
-    captures with :class:`~repro.errors.CodecError`.
+
+def iter_pcap(
+    source: Union[str, Path, BinaryIO],
+    buffer_size: int = READ_BUFFER,
+) -> Iterator[TraceRecord]:
+    """Stream an Ethernet pcap as :class:`TraceRecord` objects.
+
+    Generator over a fixed-size read buffer — the file is never
+    materialized, so multi-GB captures replay in O(``buffer_size``)
+    memory.  Handles both byte orders; rejects nanosecond-format and
+    non-Ethernet captures; a capture that ends mid-record raises
+    :class:`~repro.errors.PcapError` naming the byte offset of the
+    short record instead of silently truncating.
     """
-    data = Path(source).read_bytes()
-    if len(data) < _GLOBAL_HEADER.size:
-        raise CodecError("pcap: file shorter than the global header")
-    magic_le = struct.unpack("<I", data[:4])[0]
-    if magic_le == PCAP_MAGIC:
-        endian = "<"
-    elif struct.unpack(">I", data[:4])[0] == PCAP_MAGIC:
-        endian = ">"
-    else:
-        raise CodecError(f"pcap: unrecognized magic 0x{magic_le:08x}")
-    header = struct.Struct(endian + "IHHiIII")
-    record_header = struct.Struct(endian + "IIII")
-    (_, _, _, _, _, _, linktype) = header.unpack_from(data, 0)
-    if linktype != _LINKTYPE_ETHERNET:
-        raise CodecError(f"pcap: linktype {linktype} is not Ethernet")
-    records: List[TraceRecord] = []
-    offset = header.size
-    index = 0
-    while offset < len(data):
-        if offset + record_header.size > len(data):
-            raise CodecError("pcap: truncated record header")
-        seconds, micros, caplen, _origlen = record_header.unpack_from(data, offset)
-        offset += record_header.size
-        if offset + caplen > len(data):
-            raise CodecError("pcap: truncated record body")
-        frame = data[offset : offset + caplen]
-        offset += caplen
-        records.append(
-            TraceRecord(
+    reader, owns = _open_reader(source, buffer_size)
+    try:
+        head = reader.read(_GLOBAL_HEADER.size)
+        if len(head) < _GLOBAL_HEADER.size:
+            raise PcapError("pcap: file shorter than the global header")
+        magic_le = struct.unpack("<I", head[:4])[0]
+        if magic_le == PCAP_MAGIC:
+            endian = "<"
+        elif struct.unpack(">I", head[:4])[0] == PCAP_MAGIC:
+            endian = ">"
+        else:
+            raise PcapError(f"pcap: unrecognized magic 0x{magic_le:08x}")
+        header = struct.Struct(endian + "IHHiIII")
+        record_header = struct.Struct(endian + "IIII")
+        (_, _, _, _, _, _, linktype) = header.unpack(head)
+        if linktype != _LINKTYPE_ETHERNET:
+            raise PcapError(f"pcap: linktype {linktype} is not Ethernet")
+        offset = header.size
+        index = 0
+        while True:
+            raw_header = reader.read(record_header.size)
+            if not raw_header:
+                return
+            if len(raw_header) < record_header.size:
+                raise PcapError(
+                    f"pcap: truncated record header at byte offset {offset} "
+                    f"(record {index}: got {len(raw_header)} of "
+                    f"{record_header.size} header bytes)"
+                )
+            seconds, micros, caplen, _origlen = record_header.unpack(raw_header)
+            offset += record_header.size
+            frame = reader.read(caplen)
+            if len(frame) < caplen:
+                raise PcapError(
+                    f"pcap: truncated record body at byte offset {offset} "
+                    f"(record {index}: got {len(frame)} of {caplen} bytes)"
+                )
+            offset += caplen
+            yield TraceRecord(
                 time=seconds + micros / 1_000_000,
                 location=f"pcap[{index}]",
                 direction=Direction.RX,
                 frame=frame,
             )
-        )
-        index += 1
-    return records
+            index += 1
+    finally:
+        if owns:
+            reader.close()
+
+
+# ======================================================================
+# Legacy eager API — thin deprecation shims over the streaming primitives
+# ======================================================================
+#: Legacy function names that already warned this process (warn once each).
+_LEGACY_WARNED: set = set()
+
+
+def _warn_legacy(name: str, replacement: str) -> None:
+    if name in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(name)
+    warnings.warn(
+        f"repro.analysis.pcap.{name}() is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def write_pcap(
+    records: Iterable[TraceRecord],
+    destination: Union[str, Path],
+    snaplen: int = 65535,
+) -> int:
+    """Deprecated: use :class:`PcapWriter`.
+
+    Sorts ``records`` by timestamp (pcap readers expect monotonic
+    captures) then streams them through an incremental writer.
+    """
+    _warn_legacy("write_pcap", "PcapWriter")
+    with PcapWriter(destination, snaplen=snaplen) as writer:
+        for record in sorted(records, key=lambda r: r.time):
+            writer.append(record)
+        return writer.count
+
+
+def read_pcap(source: Union[str, Path]) -> List[TraceRecord]:
+    """Deprecated: use :func:`iter_pcap`.
+
+    Eagerly materializes the whole capture as a list — fine for test
+    fixtures, wrong for multi-GB traces.
+    """
+    _warn_legacy("read_pcap", "iter_pcap")
+    return list(iter_pcap(source))

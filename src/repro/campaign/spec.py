@@ -133,6 +133,13 @@ class CampaignSpec:
     #: task's variant under the ``"faults"`` key, so cells, derived
     #: seeds, and cache keys all distinguish fault levels automatically.
     faults: Tuple[Optional[str], ...] = (None,)
+    #: Trace sweep axis (``replay`` experiment only): each entry is a
+    #: ``repro.replay`` source spec (``"pcap:PATH"``,
+    #: ``"synthetic:rate=50k,churn=0.2"``) and multiplies the grid —
+    #: schemes × traces sweep on the worker pool.  The spec lands in
+    #: each task's variant under the ``"trace"`` key, exactly like the
+    #: faults axis, so derived seeds and cache keys distinguish traces.
+    traces: Tuple[Optional[str], ...] = (None,)
 
     def __post_init__(self) -> None:
         kind = EXPERIMENTS.get(self.experiment)
@@ -196,6 +203,34 @@ class CampaignSpec:
                 "scenario already pins fault_spec; a faults sweep would "
                 "silently override it — drop one of the two"
             )
+        if not self.traces:
+            raise CampaignError(
+                "traces must be non-empty; use (None,) when not sweeping traces"
+            )
+        sweeping_traces = tuple(self.traces) != (None,)
+        has_variant_trace = any("trace" in v for v in self.variants)
+        if sweeping_traces and self.experiment != "replay":
+            raise CampaignError(
+                f"the traces axis only applies to the 'replay' experiment, "
+                f"not {self.experiment!r}"
+            )
+        if sweeping_traces and has_variant_trace:
+            raise CampaignError(
+                "give traces either as the traces= sweep axis or inside "
+                "variants, not both"
+            )
+        from repro.errors import ReplayError
+        from repro.replay import open_source
+
+        for trace in self.traces:
+            if trace is None:
+                continue
+            try:
+                open_source(trace)
+            except ReplayError as exc:
+                raise CampaignError(
+                    f"invalid trace spec {trace!r}: {exc}"
+                ) from None
         # Validate the scenario overrides eagerly: a typo should fail at
         # spec construction, not inside a worker process.
         ScenarioConfig.from_dict(dict(self.scenario))
@@ -213,31 +248,35 @@ class CampaignSpec:
         scenario = dict(self.scenario)
         for scheme in self.schemes:
             for fault in self.faults:
-                for variant in self.effective_variants():
-                    cell_variant = dict(variant)
-                    if fault is not None:
-                        # The fault spec rides in the variant so cells,
-                        # content-derived seeds, and cache keys all see it.
-                        cell_variant["faults"] = fault
-                    for trial in range(self.seeds):
-                        seed = derive_seed(
-                            self.root_seed,
-                            self.experiment,
-                            scheme or "none",
-                            _canonical_json(cell_variant),
-                            _canonical_json(scenario),
-                            trial,
-                        )
-                        out.append(
-                            CampaignTask(
-                                experiment=self.experiment,
-                                scheme=scheme,
-                                variant=cell_variant,
-                                scenario=scenario,
-                                trial=trial,
-                                seed=seed,
+                for trace in self.traces:
+                    for variant in self.effective_variants():
+                        cell_variant = dict(variant)
+                        if fault is not None:
+                            # The fault spec rides in the variant so cells,
+                            # content-derived seeds, and cache keys all see it.
+                            cell_variant["faults"] = fault
+                        if trace is not None:
+                            # Same rule for the trace axis.
+                            cell_variant["trace"] = trace
+                        for trial in range(self.seeds):
+                            seed = derive_seed(
+                                self.root_seed,
+                                self.experiment,
+                                scheme or "none",
+                                _canonical_json(cell_variant),
+                                _canonical_json(scenario),
+                                trial,
                             )
-                        )
+                            out.append(
+                                CampaignTask(
+                                    experiment=self.experiment,
+                                    scheme=scheme,
+                                    variant=cell_variant,
+                                    scenario=scenario,
+                                    trial=trial,
+                                    seed=seed,
+                                )
+                            )
         return out
 
     def to_dict(self) -> Dict[str, object]:
@@ -250,6 +289,7 @@ class CampaignSpec:
             "scenario": dict(self.scenario),
             "name": self.name,
             "faults": list(self.faults),
+            "traces": list(self.traces),
         }
 
     @classmethod
@@ -264,6 +304,8 @@ class CampaignSpec:
             payload["variants"] = tuple(dict(v) for v in payload["variants"])
         if "faults" in payload:
             payload["faults"] = tuple(payload["faults"])
+        if "traces" in payload:
+            payload["traces"] = tuple(payload["traces"])
         return cls(**payload)
 
 
@@ -402,6 +444,17 @@ def _execute_campus_churn(task: CampaignTask) -> SerializableResult:
     )
 
 
+def _execute_replay(task: CampaignTask) -> SerializableResult:
+    return api.run(
+        "replay",
+        _scenario_config(task),
+        scheme=task.scheme,
+        source=str(task.variant.get("trace", "synthetic:")),
+        window=int(task.variant.get("window", 1024)),
+        drain=float(task.variant.get("drain", 0.0)),
+    )
+
+
 @dataclass(frozen=True)
 class ExperimentKind:
     """Binding between a campaign experiment name and its ``run_*`` call."""
@@ -522,6 +575,19 @@ EXPERIMENTS: Dict[str, ExperimentKind] = {
                 "shards",
             ),
             default_variants=({"shards": 0}, {"shards": 2}),
+        ),
+        ExperimentKind(
+            name="replay",
+            execute=_execute_replay,
+            metrics=(
+                "frames",
+                "delivered",
+                "alerts",
+                "frames_per_sec",
+                "wall_seconds",
+            ),
+            variant_keys=("trace", "window", "drain"),
+            default_variants=({"trace": "synthetic:"},),
         ),
     )
 }

@@ -23,6 +23,11 @@ Commands
 ``metrics``
     Run one fixed-seed experiment and dump the metrics registry in
     Prometheus text (or JSON snapshot) form.
+``replay``
+    Stream a frame trace — a pcap capture (``--pcap``) or a seeded
+    synthetic generator (``--synthetic``) — through a monitor-placed
+    scheme's tap in bounded memory, and report frames, alerts, and
+    sustained ingest throughput.
 ``profile``
     Run one experiment under the sampling wall-clock profiler and
     export collapsed stacks (flamegraph.pl / speedscope input) with
@@ -65,6 +70,18 @@ def _fault_spec(value: str) -> Optional[str]:
     except FaultError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return value if spec is not None else None
+
+
+def _trace_spec(value: str) -> str:
+    """argparse type for ``--traces``: a replay source spec string."""
+    from repro.errors import ReplayError
+    from repro.replay import open_source
+
+    try:
+        open_source(value)
+    except ReplayError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
 
 
 _TABLES: Dict[int, Callable[[], "report.Artifact"]] = {
@@ -172,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
              "SPEC is a compact impairment spec like loss=0.05,jitter=2ms, "
              "or 'none' for the clean-LAN level — fault specs contain "
              "commas, hence one flag per level",
+    )
+    camp.add_argument(
+        "--traces", action="append", default=None, type=_trace_spec,
+        metavar="SPEC",
+        help="add one trace to the sweep grid (replay experiment only, "
+             "repeatable); each SPEC is a replay source spec like "
+             "pcap:capture.pcap or synthetic:rate=50k,churn=0.2 — trace "
+             "specs contain commas, hence one flag per trace",
     )
     camp.add_argument(
         "--variant", action="append", default=None, dest="variant_overrides",
@@ -316,6 +341,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="distinct ARP targets per window that count as a sweep",
     )
 
+    replay = sub.add_parser(
+        "replay",
+        help="stream a frame trace through a detection scheme's monitor tap",
+    )
+    replay_src = replay.add_mutually_exclusive_group(required=True)
+    replay_src.add_argument(
+        "--pcap", default=None, metavar="PATH",
+        help="replay an Ethernet pcap capture from PATH",
+    )
+    replay_src.add_argument(
+        "--synthetic", default=None, metavar="PARAMS", nargs="?", const="",
+        help="replay a seeded synthetic trace; PARAMS is the source "
+             "spec tail, e.g. rate=500k,frames=1m,churn=0.2 (omit for "
+             "the default mix)",
+    )
+    replay.add_argument(
+        "--rate", default=None, metavar="FPS",
+        help="synthetic trace timestamp rate in frames/sec, with k/m "
+             "suffixes (shorthand for rate= in --synthetic PARAMS)",
+    )
+    replay.add_argument(
+        "--scheme", default=None, type=_scheme_spec, metavar="SPEC",
+        help="defense to attach to the replay station — monitor-placed "
+             "schemes only (default: none, measure raw ingest)",
+    )
+    replay.add_argument(
+        "--window", type=int, default=1024, metavar="N",
+        help="bounded in-flight window in frames; memory stays O(N) "
+             "regardless of trace size (default: 1024; 1 forces the "
+             "per-frame fidelity path)",
+    )
+    replay.add_argument(
+        "--drain", type=float, default=0.0, metavar="SECS",
+        help="run scheme timers SECS trace-seconds past the last frame",
+    )
+    replay.add_argument("--seed", type=int, default=7)
+    replay.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a Prometheus text dump (replay counters, ingest "
+             "histograms, per-scheme alert totals) to PATH",
+    )
+    replay.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="stream a live JSONL time series of the run to PATH",
+    )
+    replay.add_argument(
+        "--telemetry-cadence", type=int, default=2000, metavar="N",
+        help="snapshot every N ingested frames (default: 2000)",
+    )
+
     bench = sub.add_parser(
         "bench", help="run the wire fast-path microbenchmarks"
     )
@@ -348,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-scale", action="store_true",
         help="skip the campus-scale suite when checking (scale baseline "
         "keys are then allowed missing)",
+    )
+    bench.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the replay-ingest suite when checking (replay "
+        "baseline keys are then allowed missing)",
     )
 
     scale = sub.add_parser(
@@ -429,6 +509,18 @@ def _campaign_grid(args):
     elif args.experiment == "dhcp-starvation":
         variants = [{"duration": args.duration}]
         scenario = {"n_hosts": args.hosts}
+    elif args.experiment == "replay":
+        if args.schemes == "all":
+            # Only monitor-placed schemes can attach to a replay station
+            # (a trace has no switch fabric or protected hosts).
+            schemes = [None] + [
+                p.key for p in all_profiles() if p.placement == "monitor"
+            ]
+        # With a --traces sweep the axis supplies each cell's trace; the
+        # default variant would collide with it (axis-vs-variant check).
+        variants = [] if getattr(args, "traces", None) else list(
+            kind.default_variants
+        )
     else:  # resolution-latency, campus-churn
         variants = list(kind.default_variants)
 
@@ -482,6 +574,7 @@ def _cmd_campaign(args, out) -> int:
         root_seed=args.root_seed,
         scenario=scenario,
         faults=tuple(args.faults) if args.faults else (None,),
+        traces=tuple(args.traces) if getattr(args, "traces", None) else (None,),
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
@@ -822,6 +915,26 @@ def _cmd_bench(args, out) -> int:
                 if args.quick:
                     allow_missing = allow_missing | SCALE_FULL_ONLY
 
+        # And the replay-ingest gate: same fold, BENCH_replay.json keys.
+        # (The replay engine delivers straight into the monitor RX path,
+        # not through coalesced event dispatch, so --no-batch does not
+        # skip it — only an explicit --no-replay does.)
+        from repro.perf.replay import (
+            DEFAULT_REPLAY_BASELINE,
+            REPLAY_BENCHMARKS,
+            run_replay_suite,
+        )
+
+        replay_path = baseline_path.parent / DEFAULT_REPLAY_BASELINE
+        if replay_path.exists():
+            baseline = {**baseline, **load_baseline(replay_path)}
+            if args.no_replay:
+                allow_missing = allow_missing | REPLAY_BENCHMARKS
+            else:
+                replay_results = run_replay_suite(quick=args.quick)
+                out.write(format_results(replay_results, baseline) + "\n")
+                results = {**results, **replay_results}
+
         failures = check(results, baseline, tolerance, allow_missing)
         for failure in failures:
             out.write(f"# REGRESSION {failure}\n")
@@ -884,6 +997,73 @@ def _cmd_scale(args, out) -> int:
         if failures:
             return 1
         out.write(f"# scale check passed (tolerance {tolerance})\n")
+    return 0
+
+
+def _cmd_replay(args, out) -> int:
+    from repro.errors import ReplayError, SchemeError
+
+    if args.pcap is not None:
+        if args.rate is not None:
+            raise SystemExit("--rate only applies to --synthetic traces")
+        spec = f"pcap:{args.pcap}"
+    else:
+        tail = args.synthetic or ""
+        if args.rate is not None:
+            if "rate=" in tail:
+                raise SystemExit(
+                    "give the rate either as --rate or as rate= inside "
+                    "--synthetic PARAMS, not both"
+                )
+            tail = f"rate={args.rate}" + (f",{tail}" if tail else "")
+        spec = f"synthetic:{tail}"
+
+    telemetry = None
+    if args.telemetry_out:
+        from repro.obs import live
+
+        telemetry = live.TelemetryRecorder(
+            cadence_events=args.telemetry_cadence, out=args.telemetry_out
+        )
+    try:
+        result = api.run(
+            "replay",
+            ScenarioConfig(seed=args.seed),
+            scheme=args.scheme,
+            source=spec,
+            window=args.window,
+            drain=args.drain,
+            telemetry=telemetry,
+        )
+    except (ReplayError, SchemeError) as exc:
+        raise SystemExit(f"replay: {exc}") from None
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+
+    label = result.scheme if result.scheme is not None else "none"
+    out.write(
+        f"replay: {result.frames} frames ({result.bytes} bytes) "
+        f"from {result.source}\n"
+        f"  scheme={label} alerts={result.alerts} "
+        f"delivered={result.delivered} mode={result.mode} "
+        f"window={result.window} peak_in_flight={result.peak_in_flight}\n"
+        f"  {result.frames_per_sec:,.0f} frames/sec "
+        f"(wall {result.wall_seconds:.3f}s, "
+        f"trace span {result.sim_seconds:.3f}s)\n"
+    )
+    if telemetry is not None:
+        out.write(
+            f"# telemetry: {telemetry.written} snapshots in "
+            f"{args.telemetry_out} (cadence {args.telemetry_cadence} events)\n"
+        )
+    if args.metrics_out:
+        from pathlib import Path
+
+        from repro.obs import REGISTRY, to_prometheus
+
+        Path(args.metrics_out).write_text(to_prometheus(REGISTRY.snapshot()))
+        out.write(f"# metrics written to {args.metrics_out}\n")
     return 0
 
 
@@ -1009,13 +1189,15 @@ def main(argv: Optional[list[str]] = None, out=None) -> int:
         return _cmd_bench(args, out)
     if args.command == "scale":
         return _cmd_scale(args, out)
+    if args.command == "replay":
+        return _cmd_replay(args, out)
     if args.command == "analyze":
         from repro.analysis.forensics import OfflineArpAnalyzer
-        from repro.analysis.pcap import read_pcap
+        from repro.analysis.pcap import iter_pcap
 
         analyzer = OfflineArpAnalyzer()
         analyzer.scan_threshold = args.scan_threshold
-        summary = analyzer.analyze(read_pcap(args.pcap))
+        summary = analyzer.analyze(iter_pcap(args.pcap))
         out.write(summary.render() + "\n")
         return 0
     if args.command == "recommend":

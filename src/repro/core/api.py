@@ -29,6 +29,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core import experiment as _exp
 from repro.core import scale as _scale
+from repro.replay import engine as _replay
 from repro.core.experiment import ScenarioConfig, SerializableResult
 from repro.errors import ExperimentError, FaultError
 from repro.faults import FaultSpec, parse_fault_spec
@@ -132,6 +133,13 @@ KINDS: Dict[str, Kind] = {
                 "duration",
                 "shards",
             ),
+        ),
+        Kind(
+            name="replay",
+            runner=_replay._run_replay,
+            result_type=_replay.ReplayResult,
+            params=("source", "window", "drain"),
+            required=("source",),
         ),
     )
 }

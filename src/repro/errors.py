@@ -36,6 +36,14 @@ class ChecksumError(CodecError):
     """A decoded packet carried an incorrect checksum."""
 
 
+class PcapError(CodecError):
+    """A pcap file is malformed (bad magic, wrong linktype, truncated)."""
+
+
+class ReplayError(ReproError):
+    """A replay source spec or engine configuration is invalid."""
+
+
 class TopologyError(ReproError):
     """Devices/ports were wired together inconsistently."""
 

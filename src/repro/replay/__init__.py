@@ -1,0 +1,41 @@
+"""Streaming trace ingestion: frame sources and the replay engine.
+
+Turns the simulated detection schemes into deployable traffic
+processors: a :class:`FrameSource` streams ``(timestamp, raw_bytes)``
+pairs — from a pcap capture, a seeded synthetic generator, or memory —
+and :class:`ReplayEngine` pumps them through the same promiscuous
+monitor station a passive IDS deployment uses, in bounded memory.
+
+See ``docs/replay.md`` for the protocol, the spec grammar, and the
+deployment framing.
+"""
+
+from repro.replay.engine import (
+    DEFAULT_WINDOW,
+    REPLAY_MONITOR_MAC,
+    ReplayEngine,
+    ReplayLan,
+    ReplayResult,
+)
+from repro.replay.sources import (
+    FrameSource,
+    MemorySource,
+    PcapSource,
+    SyntheticSource,
+    open_source,
+    parse_rate,
+)
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "REPLAY_MONITOR_MAC",
+    "FrameSource",
+    "MemorySource",
+    "PcapSource",
+    "SyntheticSource",
+    "ReplayEngine",
+    "ReplayLan",
+    "ReplayResult",
+    "open_source",
+    "parse_rate",
+]

@@ -1,0 +1,489 @@
+"""The replay engine: pump a frame source through the monitor RX path.
+
+This is the deployment half of the paper's framing — the schemes are
+"things you point at live traffic", so :class:`ReplayEngine` stands up
+the same station a passive IDS deployment uses (a promiscuous monitor
+host with schemes attached to its frame taps) and drives it from any
+:class:`~repro.replay.sources.FrameSource` instead of a simulated
+switch mirror port.
+
+Two delivery modes, picked automatically per run:
+
+* **per-frame** — exact fidelity: every frame is delivered through
+  ``Port.deliver`` → ``Host.on_frame`` at its own trace timestamp, and
+  (when the tracer is enabled) registered with frame provenance so
+  alerts resolve to trace positions.  Chosen whenever a per-frame
+  ``observer`` is attached or ``TRACER`` is enabled.
+* **batched** — throughput: frames accumulate in a bounded in-flight
+  window and each chunk is handed to the PR 7 ``deliver_batch`` plane at
+  the chunk's first timestamp (the same first-item-slot rule
+  ``Simulator.coalesce`` uses).  Before delivery the chunk passes a
+  kernel-BPF-style prefilter (``arp or udp port 67/68`` — exactly the
+  capture filter arpwatch installs) so the benign majority never pays
+  per-frame Python dispatch.  The prefilter is disabled automatically
+  when an installed scheme overrides ``on_any_frame`` and therefore
+  inspects non-ARP/DHCP traffic.
+
+Either way the source is consumed *pull-based* behind the window, so a
+multi-GB trace replays in O(window) memory — ``peak_in_flight`` records
+the high-water mark and the bounded-memory test pins it to the window.
+
+Timekeeping: the engine drives the simulation clock from trace
+timestamps via :meth:`~repro.sim.Simulator.advance_to`, so scheme
+timers (probe timeouts, periodic sweeps) fire in step with the stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import islice
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.experiment import (
+    RESULT_TYPES,
+    ScenarioConfig,
+    SerializableResult,
+)
+from repro.errors import ReplayError, SchemeError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import TRACER
+from repro.packets.ethernet import EtherType
+from repro.replay.sources import FrameSource, open_source
+from repro.schemes.base import Scheme
+from repro.schemes.monitor_base import MonitorScheme
+from repro.sim import Simulator
+from repro.stack.host import Host
+
+__all__ = [
+    "ReplayEngine",
+    "ReplayLan",
+    "ReplayResult",
+    "REPLAY_MONITOR_MAC",
+    "_run_replay",
+]
+
+#: The replay station's MAC: locally administered, outside both the
+#: realistic-OUI range simulated LANs allocate and the synthetic
+#: source's ``aa:``/``ae:`` station ranges — a monitor scheme's
+#: own-transmission filter must never match a trace frame.
+REPLAY_MONITOR_MAC = MacAddress("02:52:45:50:4c:59")
+
+#: Default bounded in-flight window (frames).
+DEFAULT_WINDOW = 1024
+
+_ET_ARP = b"\x08\x06"
+_ET_IPV4 = b"\x08\x00"
+_PROTO_UDP = b"\x11"
+_DHCP_PORTS = (b"\x00\x43", b"\x00\x44")
+
+
+def _maybe_dhcp(data: bytes) -> bool:
+    """Raw-byte DHCP test: IPv4/UDP with either port in {67, 68}.
+
+    Called only after the cheap proto-byte check matched UDP; reads the
+    ports at the IHL-derived offsets, so IP options are handled.
+    """
+    if data[12:14] != _ET_IPV4 or len(data) < 38 or (data[14] >> 4) != 4:
+        return False
+    ihl = (data[14] & 0x0F) * 4
+    ports = data[14 + ihl : 14 + ihl + 4]
+    return ports[0:2] in _DHCP_PORTS or ports[2:4] in _DHCP_PORTS
+
+
+def _interesting(data: bytes) -> bool:
+    """The arpwatch capture filter: ``arp or (udp port 67 or 68)``.
+
+    Raw-byte test, no decode.  The prefilter only ever *narrows* the
+    batched path — anything needing full per-frame fidelity (tracing,
+    observers, whole-traffic schemes) runs the unfiltered per-frame
+    plane, so correctness never depends on this heuristic.
+    """
+    return data[12:14] == _ET_ARP or (
+        data[23:24] == _PROTO_UDP and _maybe_dhcp(data)
+    )
+
+
+class _ObserverHost(Host):
+    """A sniffer station: taps see everything, the stack stays out.
+
+    A passive capture box does not run an ARP/IP stack over the traffic
+    it records — the live monitor host does (its broadcast handling is
+    part of the simulated LAN), but in replay that stack work would
+    double-decode every ARP frame for no observable effect.  Frames
+    addressed to the station itself (replies to its own active probes)
+    still reach the stack, so probe bookkeeping works if a trace ever
+    contains them.
+    """
+
+    def _frame_dispatch(self, frame, data) -> None:
+        if self.frame_taps.hooks:
+            self.frame_taps.emit(frame, data)
+        if frame.dst == self.mac:
+            if frame.ethertype == EtherType.ARP:
+                self._arp_rx(frame)
+            elif frame.ethertype == EtherType.IPV4:
+                self._ip_rx(frame)
+
+
+class ReplayLan:
+    """The minimal LAN surface a monitor-placed scheme installs onto.
+
+    Duck-types what :class:`~repro.l2.topology.Lan` exposes to
+    :class:`~repro.schemes.monitor_base.MonitorScheme` (``sim``,
+    ``hosts``, ``monitor``, ``true_bindings``) — the same trick
+    :class:`~repro.l2.topology.Campus` uses — but with no switch fabric:
+    frames arrive from a trace, not a mirror link.  ``inventory`` seeds
+    ``true_bindings()`` for schemes that bootstrap from a static
+    IP→MAC inventory (snort-style preconfiguration); learning schemes
+    ignore it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inventory: Optional[Mapping[Ipv4Address, MacAddress]] = None,
+    ) -> None:
+        self.sim = sim
+        self.hosts: Dict[str, Host] = {}
+        self.monitor: Host = _ObserverHost(
+            sim, "replay-monitor", mac=REPLAY_MONITOR_MAC
+        )
+        self.monitor.promiscuous = True
+        # The station is an observer, not a participant: it must never
+        # answer ARP or ICMP out of the trace it is replaying.
+        self.monitor.arp_responder_enabled = False
+        self.monitor.icmp_echo_enabled = False
+        self.hosts[self.monitor.name] = self.monitor
+        self._inventory: Dict[Ipv4Address, MacAddress] = dict(inventory or {})
+
+    def true_bindings(self) -> Dict[Ipv4Address, MacAddress]:
+        """The configured inventory (empty when replaying unknown traffic)."""
+        return dict(self._inventory)
+
+    def __repr__(self) -> str:
+        return f"ReplayLan(monitor={self.monitor.name}, inventory={len(self._inventory)})"
+
+
+@dataclass(frozen=True)
+class ReplayResult(SerializableResult):
+    """One replay run: stream size, throughput, and detection outcome."""
+
+    source: str
+    scheme: Optional[str]
+    frames: int
+    bytes: int
+    #: Frames handed to the host RX path (after the batched-mode
+    #: prefilter; equals ``frames`` in per-frame mode).
+    delivered: int
+    alerts: int
+    #: Trace time span covered (last timestamp - first timestamp).
+    sim_seconds: float
+    wall_seconds: float
+    window: int
+    #: ``"batched"`` or ``"per-frame"``.
+    mode: str
+    #: In-flight high-water mark; bounded-memory invariant: <= window.
+    peak_in_flight: int
+
+    @property
+    def frames_per_sec(self) -> float:
+        """Sustained ingest throughput (the BENCH_replay gate metric)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.frames / self.wall_seconds
+
+
+def _alerts_in(delta: Mapping[str, object]) -> int:
+    """Total ``scheme_alerts_total`` across a registry delta."""
+    family = delta.get("metrics", {}).get("scheme_alerts_total")
+    if not family:
+        return 0
+    return int(sum(s["value"] for s in family.get("samples", ())))
+
+
+def _overrides_on_any_frame(scheme: Scheme) -> bool:
+    """Does any installed (leaf) scheme inspect every frame?"""
+    leaves = getattr(scheme, "schemes", None) or [scheme]
+    for leaf in leaves:
+        if not isinstance(leaf, MonitorScheme):
+            continue
+        if type(leaf).on_any_frame is not MonitorScheme.on_any_frame:
+            return True
+    return False
+
+
+class ReplayEngine:
+    """Pump a :class:`FrameSource` through the monitor RX path.
+
+    Construct, optionally :meth:`install` schemes, then :meth:`run` any
+    number of sources.  The engine owns a :class:`ReplayLan`; the
+    simulator may be shared (pass your own to attach telemetry first).
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        *,
+        window: int = DEFAULT_WINDOW,
+        inventory: Optional[Mapping[Ipv4Address, MacAddress]] = None,
+        observer: Optional[Callable[[float, bytes], None]] = None,
+    ) -> None:
+        if window < 1:
+            raise ReplayError(f"window must be >= 1, got {window}")
+        self.sim = sim if sim is not None else Simulator(seed=7)
+        self.window = window
+        self.observer = observer
+        self.lan = ReplayLan(self.sim, inventory=inventory)
+        self.schemes: List[Scheme] = []
+        self.peak_in_flight = 0
+        self._frames_total = REGISTRY.counter(
+            "replay_frames_total",
+            "Frames ingested by the replay engine, by source kind",
+            labels=("source",),
+        )
+        self._bytes_total = REGISTRY.counter(
+            "replay_bytes_total",
+            "Bytes ingested by the replay engine, by source kind",
+            labels=("source",),
+        )
+        self._skew_total = REGISTRY.counter(
+            "replay_skew_total",
+            "Trace frames whose timestamp ran backwards (clamped to the clock)",
+        )
+        self._ingest_seconds = REGISTRY.histogram(
+            "replay_ingest_seconds",
+            "Wall-clock time spent ingesting one in-flight window",
+            labels=("mode",),
+        )
+
+    # ------------------------------------------------------------------
+    def install(self, scheme: Scheme) -> Scheme:
+        """Install a scheme onto the replay station.
+
+        Only monitor-placed schemes make sense here (there is no switch
+        fabric or host population to protect); anything else fails with
+        :class:`~repro.errors.SchemeError` before touching the LAN.
+        """
+        placement = scheme.profile.placement
+        if placement != "monitor":
+            raise SchemeError(
+                f"replay only supports monitor-placement schemes "
+                f"(a trace has no switch fabric or protected hosts); "
+                f"{scheme.profile.key!r} is {placement!r}-placed"
+            )
+        scheme.install(self.lan)
+        self.schemes.append(scheme)
+        return scheme
+
+    def uninstall_all(self) -> None:
+        for scheme in self.schemes:
+            scheme.uninstall()
+        self.schemes.clear()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        source: Union[str, Mapping[str, object], FrameSource],
+        *,
+        drain: float = 0.0,
+    ) -> Dict[str, object]:
+        """Replay ``source`` to completion; returns run statistics.
+
+        ``drain`` runs the simulator that many extra trace-seconds past
+        the last frame, so scheme timers (probe timeouts) conclude.
+        Returns a dict with ``frames``, ``bytes``, ``delivered``,
+        ``first_ts``/``last_ts``, ``wall_seconds``, ``mode`` and
+        ``peak_in_flight``.
+        """
+        src = open_source(source)
+        per_frame = (
+            self.observer is not None or TRACER.enabled or self.window == 1
+        )
+        prefilter = not any(map(_overrides_on_any_frame, self.schemes))
+        monitor = self.lan.monitor
+        nic = monitor.nic
+        sim = self.sim
+        source_kind = src.kind
+        frames = 0
+        nbytes = 0
+        delivered = 0
+        skew = 0
+        first_ts: Optional[float] = None
+        last_ts = sim.now
+        peak = 0
+        observer = self.observer
+        telemetry = sim.telemetry
+        start = time.perf_counter()
+        if per_frame:
+            provenance = TRACER.provenance if TRACER.enabled else None
+            window_start = start
+            for ts, raw in src:
+                if first_ts is None:
+                    first_ts = ts
+                if ts < last_ts:
+                    skew += 1
+                    ts = last_ts
+                if ts > last_ts:
+                    sim.advance_to(ts)
+                    last_ts = ts
+                if provenance is not None:
+                    provenance.new_frame(
+                        raw, origin=f"replay:{source_kind}", time=ts, kind="rx"
+                    )
+                if observer is not None:
+                    observer(ts, raw)
+                nic.deliver(raw)
+                frames += 1
+                nbytes += len(raw)
+                if frames % self.window == 0:
+                    now_wall = time.perf_counter()
+                    self._ingest_seconds.labels(mode="per-frame").observe(
+                        now_wall - window_start
+                    )
+                    window_start = now_wall
+                    if telemetry is not None:
+                        sim.events_processed += self.window
+                        telemetry.tick(sim)
+            delivered = frames
+            peak = 1 if frames else 0
+            mode = "per-frame"
+        else:
+            # Chunked pull: islice materializes one window of (ts, raw)
+            # pairs at C speed, so per-frame Python bookkeeping happens
+            # only at window granularity.  Timestamp skew is likewise
+            # clamped per window — batched delivery lands the whole
+            # chunk at its first frame's slot anyway (the same rule
+            # Simulator.coalesce applies).
+            window = self.window
+            observe = self._ingest_seconds.labels(mode="batched").observe
+            window_start = start
+            it = iter(src)
+            while True:
+                pairs = list(islice(it, window))
+                if not pairs:
+                    break
+                n = len(pairs)
+                if n > peak:
+                    peak = n
+                chunk_ts = pairs[0][0]
+                if first_ts is None:
+                    first_ts = chunk_ts
+                if chunk_ts < last_ts:
+                    skew += 1
+                    chunk_ts = last_ts
+                raws = [p[1] for p in pairs]
+                frames += n
+                nbytes += sum(map(len, raws))
+                end_ts = pairs[-1][0]
+                if end_ts > last_ts:
+                    last_ts = end_ts
+                delivered += self._flush(raws, chunk_ts, nic, prefilter)
+                now_wall = time.perf_counter()
+                observe(now_wall - window_start)
+                window_start = now_wall
+                if telemetry is not None:
+                    sim.events_processed += n
+                    telemetry.tick(sim)
+            mode = "batched"
+        if last_ts > sim.now:
+            sim.advance_to(last_ts)
+        if drain > 0.0:
+            sim.run(until=sim.now + drain)
+        wall_seconds = time.perf_counter() - start
+        src.close()
+        self.peak_in_flight = max(self.peak_in_flight, peak)
+        if frames:
+            self._frames_total.labels(source=source_kind).inc(frames)
+            self._bytes_total.labels(source=source_kind).inc(nbytes)
+        if skew:
+            self._skew_total.inc(skew)
+        if telemetry is not None:
+            telemetry.sample(sim, reason="replay-end")
+        return {
+            "source": src.spec_string,
+            "frames": frames,
+            "bytes": nbytes,
+            "delivered": delivered,
+            "skew": skew,
+            "first_ts": first_ts,
+            "last_ts": last_ts,
+            "wall_seconds": wall_seconds,
+            "mode": mode,
+            "peak_in_flight": peak,
+        }
+
+    def _flush(
+        self,
+        chunk: List[bytes],
+        chunk_ts: float,
+        nic,
+        prefilter: bool,
+    ) -> int:
+        """Deliver one window at its first frame's timestamp."""
+        sim = self.sim
+        if chunk_ts > sim.now:
+            sim.advance_to(chunk_ts)
+        if prefilter:
+            # Inlined _interesting(): the ARP ethertype and UDP proto
+            # byte are checked in the comprehension itself, so the TCP
+            # majority is rejected in two C-level slice compares without
+            # a Python call.
+            arp, udp, dhcp = _ET_ARP, _PROTO_UDP, _maybe_dhcp
+            batch = [
+                d
+                for d in chunk
+                if d[12:14] == arp or (d[23:24] == udp and dhcp(d))
+            ]
+        else:
+            batch = chunk
+        if batch:
+            nic.deliver_batch(batch)
+        return len(batch)
+
+
+def _run_replay(
+    scheme_key: Optional[str],
+    config: Optional[ScenarioConfig] = None,
+    source: Union[str, Mapping[str, object], FrameSource, None] = None,
+    window: int = DEFAULT_WINDOW,
+    drain: float = 0.0,
+    **scheme_kwargs,
+) -> ReplayResult:
+    """``api.run("replay", ...)`` entry point."""
+    if source is None:
+        raise ReplayError(
+            "replay needs a source= (spec string like 'pcap:PATH' or "
+            "'synthetic:rate=50k', or a FrameSource)"
+        )
+    from repro.schemes import make_defense
+
+    seed = (config or ScenarioConfig()).seed
+    src = open_source(source)
+    obs_before = REGISTRY.snapshot()
+    engine = ReplayEngine(Simulator(seed=seed), window=window)
+    scheme = None
+    if scheme_key is not None:
+        scheme = make_defense(scheme_key, **scheme_kwargs)
+        engine.install(scheme)
+    stats = engine.run(src, drain=drain)
+    first_ts = stats["first_ts"]
+    span = (stats["last_ts"] - first_ts) if first_ts is not None else 0.0
+    return ReplayResult(
+        source=str(stats["source"]),
+        scheme=scheme_key,
+        frames=int(stats["frames"]),
+        bytes=int(stats["bytes"]),
+        delivered=int(stats["delivered"]),
+        alerts=_alerts_in(REGISTRY.delta(obs_before)),
+        sim_seconds=float(span),
+        wall_seconds=float(stats["wall_seconds"]),
+        window=window,
+        mode=str(stats["mode"]),
+        peak_in_flight=int(stats["peak_in_flight"]),
+    )
+
+
+# Polymorphic deserialization (campaign transport + result cache).
+RESULT_TYPES[ReplayResult.__name__] = ReplayResult

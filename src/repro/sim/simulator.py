@@ -515,6 +515,25 @@ class Simulator:
         event = self._peek()
         return event.time if event is not None else None
 
+    def advance_to(self, when: float) -> None:
+        """Fire everything due at or before ``when``, then set the clock there.
+
+        External ingestion (the replay engine) drives the clock from
+        *trace* timestamps rather than scheduled events; this keeps any
+        scheme timers (probe timeouts, periodic sweeps) firing in step
+        with the ingested stream.  The common case — nothing pending
+        before ``when`` — is a bare clock assignment, no heap traffic.
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot advance to t={when} before current time t={self._now}"
+            )
+        nxt = self.next_event_time()
+        if nxt is not None and nxt <= when:
+            self.run(until=when)
+        else:
+            self._now = when
+
     @property
     def heap_depth(self) -> int:
         """Raw heap length, cancelled entries included (telemetry view:

@@ -35,6 +35,7 @@ class TestRegistry:
             "footprint",
             "interception-timeline",
             "overhead",
+            "replay",
             "resolution-latency",
         ]
 

@@ -96,7 +96,7 @@ class TestCommands:
     def test_analyze_pcap(self, tmp_path):
         """Full loop: simulate an attack, export pcap, analyze via the CLI."""
         from repro import Lan, Simulator
-        from repro.analysis.pcap import write_pcap
+        from repro.analysis.pcap import PcapWriter
         from repro.attacks import MitmAttack
         from repro.stack import WINDOWS_XP
 
@@ -112,7 +112,9 @@ class TestCommands:
         sim.run(until=10.0)
         mitm.stop()
         pcap = tmp_path / "incident.pcap"
-        write_pcap(monitor.recorder.records, pcap)
+        with PcapWriter(pcap) as writer:
+            for record in monitor.recorder.records:
+                writer.append(record)
 
         text = run_cli("analyze", str(pcap))
         assert "rebinding events:" in text

@@ -2,14 +2,23 @@
 
 from __future__ import annotations
 
+import io
 import struct
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.forensics import OfflineArpAnalyzer
-from repro.analysis.pcap import PCAP_MAGIC, read_pcap, write_pcap
+from repro.analysis.pcap import (
+    PCAP_MAGIC,
+    PcapWriter,
+    iter_pcap,
+    read_pcap,
+    write_pcap,
+)
 from repro.attacks.mitm import MitmAttack
-from repro.errors import CodecError
+from repro.errors import CodecError, PcapError
 from repro.l2.topology import Lan
 from repro.sim.trace import Direction, TraceRecord
 from repro.stack.os_profiles import WINDOWS_XP
@@ -66,6 +75,93 @@ class TestRoundTrip:
         assert back[0].time == pytest.approx(3.5)
 
 
+class TestStreamingPrimitives:
+    def test_iter_pcap_is_a_generator(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        with PcapWriter(path) as writer:
+            for record in sorted(make_records(), key=lambda r: r.time):
+                writer.append(record)
+        stream = iter_pcap(path)
+        assert iter(stream) is stream  # generator, not a list
+        first = next(stream)
+        assert first.frame == b"\xbb" * 80
+        assert first.location == "pcap[0]"
+        assert [r.location for r in stream] == ["pcap[1]", "pcap[2]"]
+
+    def test_writer_append_frame_and_count(self, tmp_path):
+        path = tmp_path / "raw.pcap"
+        with PcapWriter(path) as writer:
+            writer.append_frame(0.5, b"\x01" * 60)
+            writer.append_frame(1.25, b"\x02" * 64)
+            assert writer.count == 2
+        back = list(iter_pcap(path))
+        assert [r.time for r in back] == [pytest.approx(0.5), pytest.approx(1.25)]
+
+    def test_writer_wraps_open_file_without_closing_it(self, tmp_path):
+        buf = io.BytesIO()
+        with PcapWriter(buf) as writer:
+            writer.append_frame(0.0, b"\x03" * 60)
+        assert not buf.closed  # caller-owned handle stays open
+        buf.seek(0)
+        assert len(list(iter_pcap(buf))) == 1
+        assert not buf.closed  # same for the reader
+
+    def test_microsecond_rounding_carry(self, tmp_path):
+        path = tmp_path / "carry.pcap"
+        with PcapWriter(path) as writer:
+            writer.append_frame(1.9999999, b"\x04" * 60)  # rounds to 2.0s
+        (record,) = iter_pcap(path)
+        assert record.time == pytest.approx(2.0)
+
+    def test_legacy_shims_warn_once_and_delegate(self, tmp_path):
+        import repro.analysis.pcap as pcap_mod
+
+        path = tmp_path / "legacy.pcap"
+        pcap_mod._LEGACY_WARNED.clear()
+        try:
+            with pytest.warns(DeprecationWarning, match="PcapWriter"):
+                write_pcap(make_records(), path)
+            with pytest.warns(DeprecationWarning, match="iter_pcap"):
+                read_pcap(path)
+            # Second calls are silent (warn once per process).
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                write_pcap(make_records(), path)
+                assert len(read_pcap(path)) == 3
+        finally:
+            pcap_mod._LEGACY_WARNED.clear()
+
+
+class TestHypothesisRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        frames=st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=0.0, max_value=2**31 - 1,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                st.binary(min_size=1, max_size=256),
+            ),
+            max_size=20,
+        )
+    )
+    def test_writer_reader_frames_byte_identical(self, frames):
+        """frames -> PcapWriter -> iter_pcap -> byte-identical payloads."""
+        buf = io.BytesIO()
+        with PcapWriter(buf) as writer:
+            for ts, raw in frames:
+                writer.append_frame(ts, raw)
+        buf.seek(0)
+        back = list(iter_pcap(buf))
+        assert [r.frame for r in back] == [raw for _, raw in frames]
+        # Timestamps survive to pcap's microsecond quantization.
+        for (ts, _), record in zip(frames, back):
+            assert record.time == pytest.approx(ts, abs=1e-6)
+
+
 class TestErrors:
     def test_bad_magic_rejected(self, tmp_path):
         path = tmp_path / "junk.pcap"
@@ -91,6 +187,30 @@ class TestErrors:
         path.write_bytes(header + struct.pack("<IIII", 0, 0, 100, 100) + b"xy")
         with pytest.raises(CodecError):
             read_pcap(path)
+
+    def test_truncated_body_names_byte_offset(self, tmp_path):
+        """A capture ending mid-frame is an error naming where — never a
+        silently short read."""
+        path = tmp_path / "trunc_body.pcap"
+        header = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 1)
+        # One good 4-byte record, then a record promising 100 bytes but
+        # delivering 2: the body starts at offset 24 + 16 + 4 + 16 = 60.
+        good = struct.pack("<IIII", 0, 0, 4, 4) + b"abcd"
+        bad = struct.pack("<IIII", 1, 0, 100, 100) + b"xy"
+        path.write_bytes(header + good + bad)
+        with pytest.raises(PcapError, match=r"byte offset 60.*record 1"):
+            list(iter_pcap(path))
+
+    def test_truncated_header_names_byte_offset(self, tmp_path):
+        path = tmp_path / "trunc_header.pcap"
+        header = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 1)
+        good = struct.pack("<IIII", 0, 0, 4, 4) + b"abcd"
+        path.write_bytes(header + good + b"\x00" * 7)  # 7 of 16 header bytes
+        with pytest.raises(PcapError, match=r"byte offset 44.*record 1"):
+            list(iter_pcap(path))
+
+    def test_pcap_error_is_a_codec_error(self):
+        assert issubclass(PcapError, CodecError)
 
 
 class TestEndToEnd:
